@@ -1,0 +1,125 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+/// A printable experiment table: header row plus data rows.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with fixed-width columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (ix, cell) in row.iter().enumerate() {
+                widths[ix] = widths[ix].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let joined: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            format!("| {} |\n", joined.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", rule.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Format a `Duration` as fractional milliseconds.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}ms", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22222".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| alpha |     1 |"));
+        assert!(s.contains("|     b | 22222 |"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(pct(0.5), "50.0%");
+        assert!(ms(std::time::Duration::from_millis(3)).starts_with("3.00"));
+    }
+}

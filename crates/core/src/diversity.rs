@@ -1,0 +1,384 @@
+//! Set-level diversity: MMR selection and swap refinement.
+//!
+//! §III(c): "we have to introduce algorithms resulting in sets of
+//! evolution measures that as a whole exhibit a desired property, and not
+//! assigning interest scores to measures individually." Diversity here is
+//! a property of the *selected set*: the item distance blends the three
+//! diversity readings the paper lists — content (different rankings),
+//! novelty (handled upstream as a relevance adjustment), and semantic
+//! (different measure categories).
+
+use crate::item::Item;
+use evorec_kb::FxHashMap;
+use evorec_measures::{similarity, MeasureId, MeasureReport};
+
+/// Weights of the three components of the item distance.
+#[derive(Clone, Copy, Debug)]
+pub struct DistanceWeights {
+    /// Weight of the category difference (semantic diversity).
+    pub category: f64,
+    /// Weight of the measure-ranking distance (content diversity).
+    pub measure: f64,
+    /// Weight of the focus difference (covering different KB regions).
+    pub focus: f64,
+}
+
+impl Default for DistanceWeights {
+    fn default() -> Self {
+        DistanceWeights {
+            category: 0.3,
+            measure: 0.4,
+            focus: 0.3,
+        }
+    }
+}
+
+/// Precomputed symmetric pairwise distance matrix over candidate items.
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Compute pairwise distances between `items`. `reports` supplies the
+    /// per-measure rankings for the content component (compared over
+    /// their top-`rank_k`); measures missing from the map contribute
+    /// maximal content distance.
+    pub fn compute(
+        items: &[Item],
+        reports: &FxHashMap<MeasureId, MeasureReport>,
+        rank_k: usize,
+        weights: DistanceWeights,
+    ) -> DistanceMatrix {
+        let n = items.len();
+        let total = weights.category + weights.measure + weights.focus;
+        let mut values = vec![0.0; n * n];
+        // Memoise measure-pair distances: many items share measures.
+        let mut measure_distance: FxHashMap<(MeasureId, MeasureId), f64> = FxHashMap::default();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (&items[i], &items[j]);
+                let cat = if a.category == b.category { 0.0 } else { 1.0 };
+                let meas = if a.measure == b.measure {
+                    0.0
+                } else {
+                    let key = if a.measure.as_str() <= b.measure.as_str() {
+                        (a.measure.clone(), b.measure.clone())
+                    } else {
+                        (b.measure.clone(), a.measure.clone())
+                    };
+                    *measure_distance.entry(key).or_insert_with(|| {
+                        match (reports.get(&a.measure), reports.get(&b.measure)) {
+                            (Some(ra), Some(rb)) => similarity::content_distance(ra, rb, rank_k),
+                            _ => 1.0,
+                        }
+                    })
+                };
+                let foc = if a.focus == b.focus { 0.0 } else { 1.0 };
+                let d = (weights.category * cat + weights.measure * meas + weights.focus * foc)
+                    / total;
+                values[i * n + j] = d;
+                values[j * n + i] = d;
+            }
+        }
+        DistanceMatrix { n, values }
+    }
+
+    /// Distance between candidates `i` and `j` (0 on the diagonal).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.n + j]
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for an empty matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Greedy maximal-marginal-relevance selection: repeatedly pick the
+/// candidate maximising `λ·relevance + (1−λ)·min-distance-to-selected`.
+/// The first pick is pure relevance. Returns selected indexes in pick
+/// order together with each pick's marginal objective.
+pub fn select_mmr(
+    relevance: &[f64],
+    distances: &DistanceMatrix,
+    k: usize,
+    lambda: f64,
+) -> Vec<(usize, f64)> {
+    let n = relevance.len();
+    assert_eq!(n, distances.len(), "relevance and distance sizes differ");
+    let lambda = lambda.clamp(0.0, 1.0);
+    let mut selected: Vec<(usize, f64)> = Vec::with_capacity(k.min(n));
+    let mut picked = vec![false; n];
+    while selected.len() < k.min(n) {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..n {
+            if picked[i] {
+                continue;
+            }
+            let objective = if selected.is_empty() {
+                relevance[i]
+            } else {
+                let min_dist = selected
+                    .iter()
+                    .map(|&(j, _)| distances.get(i, j))
+                    .fold(f64::INFINITY, f64::min);
+                lambda * relevance[i] + (1.0 - lambda) * min_dist
+            };
+            let better = match best {
+                None => true,
+                Some((bi, bo)) => {
+                    objective > bo + 1e-15 || ((objective - bo).abs() <= 1e-15 && i < bi)
+                }
+            };
+            if better {
+                best = Some((i, objective));
+            }
+        }
+        let (i, objective) = best.expect("candidates remain");
+        picked[i] = true;
+        selected.push((i, objective));
+    }
+    selected
+}
+
+/// Set objective used by swap refinement:
+/// `λ·mean(relevance) + (1−λ)·mean pairwise distance`.
+pub fn set_objective(
+    selection: &[usize],
+    relevance: &[f64],
+    distances: &DistanceMatrix,
+    lambda: f64,
+) -> f64 {
+    if selection.is_empty() {
+        return 0.0;
+    }
+    let mean_rel: f64 =
+        selection.iter().map(|&i| relevance[i]).sum::<f64>() / selection.len() as f64;
+    let diversity = intra_set_distance(selection, distances);
+    lambda * mean_rel + (1.0 - lambda) * diversity
+}
+
+/// Mean pairwise distance of a selection (0 for sets below two items).
+pub fn intra_set_distance(selection: &[usize], distances: &DistanceMatrix) -> f64 {
+    if selection.len() < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut pairs = 0usize;
+    for (a, &i) in selection.iter().enumerate() {
+        for &j in &selection[(a + 1)..] {
+            sum += distances.get(i, j);
+            pairs += 1;
+        }
+    }
+    sum / pairs as f64
+}
+
+/// Hill-climbing swap refinement: try replacing each selected item with
+/// each unselected candidate, keeping any swap that improves
+/// [`set_objective`]; up to `passes` sweeps. Returns the improved
+/// selection (same length, pick order not preserved).
+pub fn swap_refine(
+    initial: &[usize],
+    relevance: &[f64],
+    distances: &DistanceMatrix,
+    lambda: f64,
+    passes: usize,
+) -> Vec<usize> {
+    let n = relevance.len();
+    let mut selection: Vec<usize> = initial.to_vec();
+    let mut in_set = vec![false; n];
+    for &i in &selection {
+        in_set[i] = true;
+    }
+    let mut objective = set_objective(&selection, relevance, distances, lambda);
+    for _ in 0..passes {
+        let mut improved = false;
+        for slot in 0..selection.len() {
+            let original = selection[slot];
+            for candidate in 0..n {
+                if in_set[candidate] {
+                    continue;
+                }
+                selection[slot] = candidate;
+                let trial = set_objective(&selection, relevance, distances, lambda);
+                if trial > objective + 1e-12 {
+                    in_set[original] = false;
+                    in_set[candidate] = true;
+                    objective = trial;
+                    improved = true;
+                    break;
+                }
+                selection[slot] = original;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    selection
+}
+
+/// Fraction of distinct categories among `selection` relative to the
+/// distinct categories available in `items` (1.0 when every available
+/// category is represented).
+pub fn category_coverage(items: &[Item], selection: &[usize]) -> f64 {
+    use std::collections::BTreeSet;
+    let available: BTreeSet<&'static str> = items.iter().map(|i| i.category.label()).collect();
+    if available.is_empty() {
+        return 0.0;
+    }
+    let covered: BTreeSet<&'static str> = selection
+        .iter()
+        .map(|&ix| items[ix].category.label())
+        .collect();
+    covered.len() as f64 / available.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evorec_kb::TermId;
+    use evorec_measures::{MeasureCategory, TargetKind};
+
+    fn t(n: u32) -> TermId {
+        TermId::from_u32(n)
+    }
+
+    fn item(measure: &str, category: MeasureCategory, focus: u32, intensity: f64) -> Item {
+        Item::new(MeasureId::new(measure), category, t(focus), intensity)
+    }
+
+    fn report(measure: &str, scores: &[(u32, f64)]) -> MeasureReport {
+        MeasureReport::from_scores(
+            MeasureId::new(measure),
+            MeasureCategory::ChangeCounting,
+            TargetKind::Classes,
+            scores.iter().map(|&(n, s)| (t(n), s)).collect(),
+        )
+    }
+
+    fn fixture() -> (Vec<Item>, FxHashMap<MeasureId, MeasureReport>) {
+        let items = vec![
+            item("count", MeasureCategory::ChangeCounting, 1, 1.0),
+            item("count", MeasureCategory::ChangeCounting, 2, 0.9),
+            item("between", MeasureCategory::StructuralImportance, 1, 0.8),
+            item("relevance", MeasureCategory::SemanticImportance, 3, 0.7),
+        ];
+        let mut reports = FxHashMap::default();
+        reports.insert(
+            MeasureId::new("count"),
+            report("count", &[(1, 3.0), (2, 2.0), (3, 1.0)]),
+        );
+        reports.insert(
+            MeasureId::new("between"),
+            report("between", &[(3, 3.0), (2, 2.0), (1, 1.0)]),
+        );
+        reports.insert(
+            MeasureId::new("relevance"),
+            report("relevance", &[(3, 9.0), (1, 2.0), (2, 1.0)]),
+        );
+        (items, reports)
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_zero_diagonal() {
+        let (items, reports) = fixture();
+        let d = DistanceMatrix::compute(&items, &reports, 10, DistanceWeights::default());
+        for i in 0..items.len() {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..items.len() {
+                assert_eq!(d.get(i, j), d.get(j, i));
+                assert!((0.0..=1.0).contains(&d.get(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn same_measure_different_focus_is_moderate_distance() {
+        let (items, reports) = fixture();
+        let d = DistanceMatrix::compute(&items, &reports, 10, DistanceWeights::default());
+        // Items 0,1: same measure/category, different focus → only the
+        // focus component: 0.3.
+        assert!((d.get(0, 1) - 0.3).abs() < 1e-12);
+        // Items 0,2: different category (1), different measure with
+        // reversed rankings (content distance 1), same focus (0):
+        // (0.3 + 0.4) / 1.0 = 0.7.
+        assert!((d.get(0, 2) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmr_lambda_one_is_pure_relevance() {
+        let (items, reports) = fixture();
+        let d = DistanceMatrix::compute(&items, &reports, 10, DistanceWeights::default());
+        let rel = vec![0.9, 0.8, 0.3, 0.1];
+        let picks = select_mmr(&rel, &d, 2, 1.0);
+        let ixs: Vec<usize> = picks.iter().map(|&(i, _)| i).collect();
+        assert_eq!(ixs, vec![0, 1]);
+    }
+
+    #[test]
+    fn mmr_low_lambda_prefers_diverse_picks() {
+        let (items, reports) = fixture();
+        let d = DistanceMatrix::compute(&items, &reports, 10, DistanceWeights::default());
+        // Items 0 and 1 are near-duplicates; 3 is far from both.
+        let rel = vec![0.9, 0.85, 0.2, 0.3];
+        let picks = select_mmr(&rel, &d, 2, 0.2);
+        let ixs: Vec<usize> = picks.iter().map(|&(i, _)| i).collect();
+        assert_eq!(ixs[0], 0, "first pick is still the most relevant");
+        assert_ne!(ixs[1], 1, "second pick must escape the duplicate");
+    }
+
+    #[test]
+    fn mmr_clamps_k_and_orders_deterministically() {
+        let (items, reports) = fixture();
+        let d = DistanceMatrix::compute(&items, &reports, 10, DistanceWeights::default());
+        let rel = vec![0.5, 0.5, 0.5, 0.5];
+        let picks = select_mmr(&rel, &d, 99, 1.0);
+        assert_eq!(picks.len(), 4);
+        // Ties resolve to the lowest index first.
+        assert_eq!(picks[0].0, 0);
+    }
+
+    #[test]
+    fn swap_refinement_never_decreases_objective() {
+        let (items, reports) = fixture();
+        let d = DistanceMatrix::compute(&items, &reports, 10, DistanceWeights::default());
+        let rel = vec![0.9, 0.85, 0.3, 0.4];
+        for lambda in [0.0, 0.3, 0.7, 1.0] {
+            let greedy: Vec<usize> = select_mmr(&rel, &d, 2, lambda)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            let before = set_objective(&greedy, &rel, &d, lambda);
+            let refined = swap_refine(&greedy, &rel, &d, lambda, 5);
+            let after = set_objective(&refined, &rel, &d, lambda);
+            assert!(after + 1e-12 >= before, "λ={lambda}: {before} → {after}");
+            assert_eq!(refined.len(), greedy.len());
+        }
+    }
+
+    #[test]
+    fn intra_set_distance_edge_cases() {
+        let (items, reports) = fixture();
+        let d = DistanceMatrix::compute(&items, &reports, 10, DistanceWeights::default());
+        assert_eq!(intra_set_distance(&[], &d), 0.0);
+        assert_eq!(intra_set_distance(&[1], &d), 0.0);
+        assert!(intra_set_distance(&[0, 2, 3], &d) > 0.0);
+    }
+
+    #[test]
+    fn category_coverage_counts_distinct() {
+        let (items, _) = fixture();
+        assert_eq!(category_coverage(&items, &[0, 1]), 1.0 / 3.0);
+        assert_eq!(category_coverage(&items, &[0, 2, 3]), 1.0);
+        assert_eq!(category_coverage(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Bridging centrality (Hwang et al.): betweenness × bridging coefficient.
+//!
+//! The paper's §II(c): "a node with high Bridging Centrality is a node
+//! connecting densely connected components in a graph". The bridging
+//! coefficient of `v` is `(1/d(v)) / Σ_{w ∈ N(v)} 1/d(w)`; multiplying by
+//! betweenness rewards nodes that both carry many shortest paths *and*
+//! sit between (rather than inside) dense regions.
+
+use crate::betweenness::betweenness;
+use crate::graph::{NodeIx, SchemaGraph};
+
+/// The bridging coefficient of every node. Nodes of degree 0 (or whose
+/// neighbours all have degree 0, which cannot happen in an undirected
+/// graph) get coefficient 0.
+pub fn bridging_coefficient(g: &SchemaGraph) -> Vec<f64> {
+    g.node_indexes()
+        .map(|u| node_bridging_coefficient(g, u))
+        .collect()
+}
+
+/// The bridging coefficient of one node.
+pub fn node_bridging_coefficient(g: &SchemaGraph, u: NodeIx) -> f64 {
+    let d = g.degree(u);
+    if d == 0 {
+        return 0.0;
+    }
+    let inv_sum: f64 = g
+        .neighbours(u)
+        .iter()
+        .map(|&v| {
+            let dv = g.degree(v);
+            debug_assert!(dv > 0, "neighbour of a node has degree >= 1");
+            1.0 / dv as f64
+        })
+        .sum();
+    if inv_sum == 0.0 {
+        0.0
+    } else {
+        (1.0 / d as f64) / inv_sum
+    }
+}
+
+/// Bridging centrality: element-wise product of betweenness and bridging
+/// coefficient.
+pub fn bridging_centrality(g: &SchemaGraph) -> Vec<f64> {
+    bridging_centrality_with(g, &betweenness(g))
+}
+
+/// Bridging centrality reusing a precomputed betweenness vector (must
+/// have one entry per node).
+pub fn bridging_centrality_with(g: &SchemaGraph, betweenness: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        betweenness.len(),
+        g.node_count(),
+        "betweenness vector length must match node count"
+    );
+    bridging_coefficient(g)
+        .into_iter()
+        .zip(betweenness)
+        .map(|(coef, b)| coef * b)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evorec_kb::TermId;
+
+    fn t(n: u32) -> TermId {
+        TermId::from_u32(n)
+    }
+
+    fn graph(n: u32, edges: &[(u32, u32)]) -> SchemaGraph {
+        SchemaGraph::from_edges(
+            (0..n).map(t).collect(),
+            &edges.iter().map(|&(a, b)| (t(a), t(b))).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Two triangles joined by a bridge node:
+    /// 0-1-2 triangle, 4-5-6 triangle, 3 connects 2 and 4.
+    fn barbell() -> SchemaGraph {
+        graph(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (4, 6),
+            ],
+        )
+    }
+
+    #[test]
+    fn bridge_node_has_highest_bridging_centrality() {
+        let g = barbell();
+        let bc = bridging_centrality(&g);
+        let best = (0..7).max_by(|&a, &b| bc[a].partial_cmp(&bc[b]).unwrap()).unwrap();
+        assert_eq!(best, 3, "the barbell bridge must win: {bc:?}");
+    }
+
+    #[test]
+    fn coefficient_of_path_centre() {
+        // Path 0-1-2: d(1)=2, neighbours have degree 1 each.
+        // coef(1) = (1/2) / (1 + 1) = 0.25.
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        let c = bridging_coefficient(&g);
+        assert!((c[1] - 0.25).abs() < 1e-12);
+        // Ends: d=1, neighbour degree 2 → (1/1)/(1/2) = 2.
+        assert!((c[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_node_coefficient_zero() {
+        let g = graph(2, &[]);
+        assert_eq!(bridging_coefficient(&g), vec![0.0, 0.0]);
+        assert_eq!(bridging_centrality(&g), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn with_variant_matches_direct() {
+        let g = barbell();
+        let direct = bridging_centrality(&g);
+        let reused = bridging_centrality_with(&g, &betweenness(&g));
+        assert_eq!(direct, reused);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn with_variant_rejects_mismatched_vector() {
+        let g = barbell();
+        let _ = bridging_centrality_with(&g, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn regular_graph_has_uniform_coefficient() {
+        // C4 cycle: all degrees 2 → coef = (1/2)/(1/2+1/2) = 0.5 for all.
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        for c in bridging_coefficient(&g) {
+            assert!((c - 0.5).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Connected components via union–find.
+
+use crate::graph::{NodeIx, SchemaGraph};
+
+/// Disjoint-set forest with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// `true` if `a` and `b` share a set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x`.
+    pub fn size_of(&mut self, x: u32) -> usize {
+        let root = self.find(x);
+        self.size[root as usize] as usize
+    }
+}
+
+/// Component labelling of a graph.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component label per node (dense, 0-based).
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// Size of each component, indexed by label.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Size of the largest component (0 for the empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Compute connected components of `g`.
+pub fn connected_components(g: &SchemaGraph) -> Components {
+    let n = g.node_count();
+    let mut uf = UnionFind::new(n);
+    for u in g.node_indexes() {
+        for &v in g.neighbours(u) {
+            uf.union(u, v);
+        }
+    }
+    let mut label_of_root = vec![u32::MAX; n];
+    let mut labels = vec![0u32; n];
+    let mut sizes = Vec::new();
+    for u in 0..n as NodeIx {
+        let root = uf.find(u);
+        if label_of_root[root as usize] == u32::MAX {
+            label_of_root[root as usize] = sizes.len() as u32;
+            sizes.push(0);
+        }
+        let label = label_of_root[root as usize];
+        labels[u as usize] = label;
+        sizes[label as usize] += 1;
+    }
+    Components {
+        labels,
+        count: sizes.len(),
+        sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evorec_kb::TermId;
+
+    fn t(n: u32) -> TermId {
+        TermId::from_u32(n)
+    }
+
+    fn graph(n: u32, edges: &[(u32, u32)]) -> SchemaGraph {
+        SchemaGraph::from_edges(
+            (0..n).map(t).collect(),
+            &edges.iter().map(|&(a, b)| (t(a), t(b))).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn union_find_merges_and_counts() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.component_count(), 4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0), "repeat union is a no-op");
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.component_count(), 2);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert_eq!(uf.size_of(0), 2);
+        uf.union(0, 2);
+        assert_eq!(uf.size_of(3), 4);
+        assert_eq!(uf.component_count(), 1);
+    }
+
+    #[test]
+    fn components_of_split_graph() {
+        let g = graph(6, &[(0, 1), (1, 2), (3, 4)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.largest(), 3);
+        assert_eq!(c.labels[0], c.labels[1]);
+        assert_eq!(c.labels[1], c.labels[2]);
+        assert_eq!(c.labels[3], c.labels[4]);
+        assert_ne!(c.labels[0], c.labels[3]);
+        assert_ne!(c.labels[0], c.labels[5]);
+        let mut sizes = c.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fully_connected_graph_is_one_component() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.largest(), 4);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = graph(0, &[]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 0);
+        assert_eq!(c.largest(), 0);
+    }
+
+    #[test]
+    fn edgeless_graph_is_all_singletons() {
+        let g = graph(5, &[]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 5);
+        assert_eq!(c.largest(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Personalised PageRank by power iteration.
+//!
+//! Used by the recommender's relatedness scoring (§III(a)): a user's
+//! interest weights seed the teleport vector, and the stationary
+//! distribution spreads that interest over the schema graph, so classes
+//! *near* explicitly-interesting classes also score.
+
+use crate::graph::{NodeIx, SchemaGraph};
+
+/// Configuration for [`personalised_pagerank`].
+#[derive(Clone, Copy, Debug)]
+pub struct PageRankConfig {
+    /// Probability of following an edge (vs teleporting). Typically 0.85.
+    pub damping: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// L1 convergence threshold.
+    pub tolerance: f64,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            max_iterations: 100,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// Personalised PageRank with teleport mass concentrated on `seeds`
+/// (`(node, weight)` pairs; weights are normalised internally). With an
+/// empty seed set this degenerates to uniform PageRank. Dangling mass is
+/// redistributed to the teleport vector. Returns a probability vector.
+pub fn personalised_pagerank(
+    g: &SchemaGraph,
+    seeds: &[(NodeIx, f64)],
+    config: PageRankConfig,
+) -> Vec<f64> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Build the (normalised) teleport vector.
+    let mut teleport = vec![0.0; n];
+    let positive: f64 = seeds.iter().map(|&(_, w)| w.max(0.0)).sum();
+    if positive > 0.0 {
+        for &(node, w) in seeds {
+            if (node as usize) < n && w > 0.0 {
+                teleport[node as usize] += w / positive;
+            }
+        }
+        // Seeds may reference out-of-range nodes; renormalise what landed.
+        let landed: f64 = teleport.iter().sum();
+        if landed > 0.0 {
+            for t in &mut teleport {
+                *t /= landed;
+            }
+        } else {
+            teleport.fill(1.0 / n as f64);
+        }
+    } else {
+        teleport.fill(1.0 / n as f64);
+    }
+
+    let mut rank = teleport.clone();
+    let mut next = vec![0.0; n];
+    for _ in 0..config.max_iterations {
+        // Edge-following mass.
+        next.fill(0.0);
+        let mut dangling = 0.0;
+        for (u, &mass) in rank.iter().enumerate() {
+            let d = g.degree(u as NodeIx);
+            if d == 0 {
+                dangling += mass;
+                continue;
+            }
+            let share = mass / d as f64;
+            for &v in g.neighbours(u as NodeIx) {
+                next[v as usize] += share;
+            }
+        }
+        let mut l1 = 0.0;
+        for v in 0..n {
+            let value =
+                (1.0 - config.damping) * teleport[v] + config.damping * (next[v] + dangling * teleport[v]);
+            l1 += (value - rank[v]).abs();
+            next[v] = value;
+        }
+        std::mem::swap(&mut rank, &mut next);
+        if l1 < config.tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+/// Uniform PageRank (no personalisation).
+pub fn pagerank(g: &SchemaGraph, config: PageRankConfig) -> Vec<f64> {
+    personalised_pagerank(g, &[], config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evorec_kb::TermId;
+
+    fn t(n: u32) -> TermId {
+        TermId::from_u32(n)
+    }
+
+    fn graph(n: u32, edges: &[(u32, u32)]) -> SchemaGraph {
+        SchemaGraph::from_edges(
+            (0..n).map(t).collect(),
+            &edges.iter().map(|&(a, b)| (t(a), t(b))).collect::<Vec<_>>(),
+        )
+    }
+
+    fn sum(v: &[f64]) -> f64 {
+        v.iter().sum()
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let r = pagerank(&g, PageRankConfig::default());
+        assert!((sum(&r) - 1.0).abs() < 1e-6, "sum = {}", sum(&r));
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let r = pagerank(&g, PageRankConfig::default());
+        for v in &r {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hub_outranks_leaves() {
+        let g = graph(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let r = pagerank(&g, PageRankConfig::default());
+        for leaf in 1..5 {
+            assert!(r[0] > r[leaf]);
+        }
+    }
+
+    #[test]
+    fn personalisation_biases_towards_seed() {
+        // Path 0-1-2-3-4-5; seed on 0 must outrank the far end.
+        let g = graph(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let r = personalised_pagerank(&g, &[(0, 1.0)], PageRankConfig::default());
+        assert!(r[0] > r[5]);
+        assert!(r[1] > r[4], "mass decays with distance from the seed");
+        assert!((sum(&r) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dangling_nodes_do_not_leak_mass() {
+        let g = graph(3, &[(0, 1)]); // node 2 isolated (dangling)
+        let r = pagerank(&g, PageRankConfig::default());
+        assert!((sum(&r) - 1.0).abs() < 1e-6);
+        assert!(r[2] > 0.0, "teleport keeps isolated nodes alive");
+    }
+
+    #[test]
+    fn negative_and_foreign_seeds_ignored() {
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        let r = personalised_pagerank(
+            &g,
+            &[(0, -5.0), (99, 3.0), (1, 1.0)],
+            PageRankConfig::default(),
+        );
+        assert!((sum(&r) - 1.0).abs() < 1e-6);
+        assert!(r[1] > r[0] && r[1] > r[2], "only the valid seed biases");
+    }
+
+    #[test]
+    fn all_seed_mass_out_of_range_degenerates_to_uniform_teleport() {
+        let g = graph(2, &[(0, 1)]);
+        let biased = personalised_pagerank(&g, &[(7, 1.0)], PageRankConfig::default());
+        let uniform = pagerank(&g, PageRankConfig::default());
+        for (b, u) in biased.iter().zip(&uniform) {
+            assert!((b - u).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_empty() {
+        let g = graph(0, &[]);
+        assert!(pagerank(&g, PageRankConfig::default()).is_empty());
+    }
+}

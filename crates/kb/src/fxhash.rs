@@ -1,0 +1,147 @@
+//! A fast, non-cryptographic hasher for small keys.
+//!
+//! Interned [`TermId`](crate::TermId)s are dense `u32`s and dominate every
+//! hot map in the workspace. The standard library's SipHash is collision
+//! resistant but slow for such keys; this module implements the well-known
+//! "Fx" multiply-rotate hash used by rustc, which is the conventional
+//! choice for compiler/database-style workloads where HashDoS is not a
+//! threat model (all keys originate from our own interner).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Fx hash family (a large prime-ish odd
+/// constant with good avalanche behaviour for multiply-rotate mixing).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A [`Hasher`] implementing the Fx multiply-rotate scheme.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u64::from(u32::from_le_bytes(buf)));
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            let mut buf = [0u8; 2];
+            buf.copy_from_slice(&bytes[..2]);
+            self.add_to_hash(u64::from(u16::from_le_bytes(buf)));
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Builder producing [`FxHasher`]s; plug into `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` replacement keyed by the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` replacement keyed by the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        // Not a rigorous collision test; guards against degenerate
+        // implementations (e.g. ignoring input).
+        let a = hash_of(b"http://example.org/a");
+        let b = hash_of(b"http://example.org/b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_of(b"same"), hash_of(b"same"));
+    }
+
+    #[test]
+    fn handles_all_tail_lengths() {
+        // Exercise the 8/4/2/1-byte tail handling paths.
+        for len in 0..=17 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            let h1 = hash_of(&data);
+            let h2 = hash_of(&data);
+            assert_eq!(h1, h2, "len {len}");
+        }
+    }
+
+    #[test]
+    fn integer_writes_differ_from_zero_state() {
+        let mut h = FxHasher::default();
+        h.write_u32(42);
+        assert_ne!(h.finish(), 0);
+    }
+
+    #[test]
+    fn map_and_set_aliases_usable() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+}

@@ -1,0 +1,204 @@
+//! Single-snapshot convenience container bundling interner, vocabulary,
+//! and triple store.
+
+use crate::interner::TermInterner;
+use crate::ntriples::{self, ParseError};
+use crate::schema::SchemaView;
+use crate::store::TripleStore;
+use crate::term::{Term, TermId};
+use crate::triple::Triple;
+use crate::vocab::Vocab;
+
+/// An RDF graph: a [`TripleStore`] plus the [`TermInterner`] and [`Vocab`]
+/// its identifiers live in.
+///
+/// This is the entry point for single-version use (loading files, building
+/// fixtures); the versioning layer manages its own shared interner across
+/// snapshots instead.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    interner: TermInterner,
+    vocab: Vocab,
+    store: TripleStore,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// An empty graph with the core vocabulary pre-interned.
+    pub fn new() -> Graph {
+        let mut interner = TermInterner::new();
+        let vocab = Vocab::install(&mut interner);
+        Graph {
+            interner,
+            vocab,
+            store: TripleStore::new(),
+        }
+    }
+
+    /// Parse an N-Triples document into a fresh graph.
+    pub fn from_ntriples(input: &str) -> Result<Graph, ParseError> {
+        let mut graph = Graph::new();
+        graph.load_ntriples(input)?;
+        Ok(graph)
+    }
+
+    /// Parse and insert an N-Triples document; returns the number of
+    /// distinct triples added.
+    pub fn load_ntriples(&mut self, input: &str) -> Result<usize, ParseError> {
+        let parsed = ntriples::parse_document(input)?;
+        let mut added = 0;
+        for (s, p, o) in parsed {
+            if self.insert_terms(s, p, o).1 {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Serialise every triple in canonical N-Triples (SPO id order).
+    pub fn to_ntriples(&self) -> String {
+        let mut out = String::new();
+        for t in self.store.iter() {
+            ntriples::write_triple(
+                &mut out,
+                self.interner.resolve(t.s),
+                self.interner.resolve(t.p),
+                self.interner.resolve(t.o),
+            );
+        }
+        out
+    }
+
+    /// Intern three terms and insert the resulting triple. Returns the
+    /// triple and whether it was newly inserted.
+    pub fn insert_terms(&mut self, s: Term, p: Term, o: Term) -> (Triple, bool) {
+        let triple = Triple::new(
+            self.interner.intern(s),
+            self.interner.intern(p),
+            self.interner.intern(o),
+        );
+        let fresh = self.store.insert(triple);
+        (triple, fresh)
+    }
+
+    /// Insert a pre-interned triple.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        self.store.insert(triple)
+    }
+
+    /// Intern an IRI (convenience for fixture building).
+    pub fn iri(&mut self, iri: impl Into<String>) -> TermId {
+        self.interner.intern(Term::iri(iri))
+    }
+
+    /// Extract the schema view of the current contents.
+    pub fn schema(&self) -> SchemaView {
+        SchemaView::extract(&self.store, &self.vocab)
+    }
+
+    /// The underlying term interner.
+    pub fn interner(&self) -> &TermInterner {
+        &self.interner
+    }
+
+    /// Mutable access to the interner.
+    pub fn interner_mut(&mut self) -> &mut TermInterner {
+        &mut self.interner
+    }
+
+    /// The pre-interned core vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The underlying triple store.
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// Mutable access to the triple store.
+    pub fn store_mut(&mut self) -> &mut TripleStore {
+        &mut self.store
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` if the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"
+# tiny fixture
+<http://x/Student> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://x/Person> .
+<http://x/alice> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Student> .
+<http://x/alice> <http://x/name> "Alice" .
+"#;
+
+    #[test]
+    fn load_and_roundtrip() {
+        let g = Graph::from_ntriples(DOC).unwrap();
+        assert_eq!(g.len(), 3);
+        let doc = g.to_ntriples();
+        let g2 = Graph::from_ntriples(&doc).unwrap();
+        assert_eq!(g2.len(), 3);
+        assert_eq!(g2.to_ntriples(), doc, "canonical form is a fixpoint");
+    }
+
+    #[test]
+    fn duplicate_lines_collapse() {
+        let doc = format!("{DOC}\n{DOC}");
+        let g = Graph::from_ntriples(&doc).unwrap();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn schema_extraction_through_graph() {
+        let mut g = Graph::from_ntriples(DOC).unwrap();
+        let student = g.iri("http://x/Student");
+        let person = g.iri("http://x/Person");
+        let view = g.schema();
+        assert!(view.is_class(student));
+        assert!(view.is_class(person));
+        assert_eq!(view.parents_of(student), &[person]);
+        assert_eq!(view.instance_count(student), 1);
+    }
+
+    #[test]
+    fn insert_terms_reports_freshness() {
+        let mut g = Graph::new();
+        let (t1, fresh1) = g.insert_terms(
+            Term::iri("http://x/a"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/b"),
+        );
+        let (t2, fresh2) = g.insert_terms(
+            Term::iri("http://x/a"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/b"),
+        );
+        assert_eq!(t1, t2);
+        assert!(fresh1);
+        assert!(!fresh2);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        let err = Graph::from_ntriples("garbage here\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+}

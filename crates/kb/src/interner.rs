@@ -1,0 +1,189 @@
+//! Bidirectional [`Term`] ↔ [`TermId`] interner.
+
+use crate::fxhash::FxHashMap;
+use crate::term::{Term, TermId};
+
+/// Deduplicating bidirectional map between [`Term`]s and dense [`TermId`]s.
+///
+/// Identifiers are handed out in insertion order starting at zero, so a
+/// `TermId` doubles as an index into any `Vec` sized to
+/// [`TermInterner::len`]. A single interner is shared across all versions
+/// of a knowledge base so that identifiers remain stable under evolution —
+/// deltas and measure reports from different version pairs are directly
+/// comparable.
+#[derive(Default, Clone)]
+pub struct TermInterner {
+    terms: Vec<Term>,
+    index: FxHashMap<Term, TermId>,
+}
+
+impl TermInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty interner with room for `capacity` terms.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TermInterner {
+            terms: Vec::with_capacity(capacity),
+            index: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+        }
+    }
+
+    /// Intern `term`, returning its identifier. Re-interning an equal term
+    /// returns the existing identifier without allocating.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.index.get(&term) {
+            return id;
+        }
+        let id = TermId::from_u32(
+            u32::try_from(self.terms.len()).expect("interner capacity exceeded u32::MAX terms"),
+        );
+        self.index.insert(term.clone(), id);
+        self.terms.push(term);
+        id
+    }
+
+    /// Convenience: intern an IRI term from its string form.
+    pub fn intern_iri(&mut self, iri: impl Into<String>) -> TermId {
+        self.intern(Term::iri(iri))
+    }
+
+    /// Look up the identifier of a term without interning it.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.index.get(term).copied()
+    }
+
+    /// Look up the identifier of an IRI without interning it.
+    pub fn lookup_iri(&self, iri: &str) -> Option<TermId> {
+        // Avoids the Box allocation of Term::iri in the common hit case is
+        // not possible with a HashMap keyed by Term; the miss/hit cost is
+        // one small allocation either way and this is not on a hot path.
+        self.lookup(&Term::iri(iri))
+    }
+
+    /// Resolve an identifier to its term.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Resolve an identifier, returning `None` for foreign identifiers.
+    pub fn try_resolve(&self, id: TermId) -> Option<&Term> {
+        self.terms.get(id.index())
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate `(id, term)` pairs in identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(ix, term)| (TermId::from_u32(ix as u32), term))
+    }
+
+    /// A short display label for an identifier (see [`Term::short_name`]);
+    /// falls back to the raw id for foreign identifiers.
+    pub fn label(&self, id: TermId) -> String {
+        match self.try_resolve(id) {
+            Some(term) => term.short_name().to_string(),
+            None => id.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Debug for TermInterner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TermInterner")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = TermInterner::new();
+        let a1 = it.intern(Term::iri("http://x/a"));
+        let a2 = it.intern(Term::iri("http://x/a"));
+        assert_eq!(a1, a2);
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut it = TermInterner::new();
+        let ids: Vec<_> = (0..5)
+            .map(|i| it.intern(Term::iri(format!("http://x/{i}"))))
+            .collect();
+        for (expect, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), expect);
+        }
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut it = TermInterner::new();
+        let term = Term::lang_literal("bonjour", "fr");
+        let id = it.intern(term.clone());
+        assert_eq!(it.resolve(id), &term);
+        assert_eq!(it.lookup(&term), Some(id));
+    }
+
+    #[test]
+    fn lookup_misses_without_interning() {
+        let it = TermInterner::new();
+        assert_eq!(it.lookup(&Term::iri("http://nope")), None);
+        assert!(it.is_empty());
+    }
+
+    #[test]
+    fn try_resolve_rejects_foreign_ids() {
+        let it = TermInterner::new();
+        assert!(it.try_resolve(TermId::from_u32(3)).is_none());
+    }
+
+    #[test]
+    fn distinct_literal_kinds_get_distinct_ids() {
+        let mut it = TermInterner::new();
+        let plain = it.intern(Term::literal("x"));
+        let lang = it.intern(Term::lang_literal("x", "en"));
+        let typed = it.intern(Term::typed_literal("x", "http://dt"));
+        assert_ne!(plain, lang);
+        assert_ne!(plain, typed);
+        assert_ne!(lang, typed);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut it = TermInterner::new();
+        it.intern(Term::iri("http://x/a"));
+        it.intern(Term::iri("http://x/b"));
+        let pairs: Vec<_> = it.iter().map(|(id, t)| (id.index(), t.clone())).collect();
+        assert_eq!(pairs[0], (0, Term::iri("http://x/a")));
+        assert_eq!(pairs[1], (1, Term::iri("http://x/b")));
+    }
+
+    #[test]
+    fn label_prefers_short_name() {
+        let mut it = TermInterner::new();
+        let id = it.intern(Term::iri("http://x/onto#Device"));
+        assert_eq!(it.label(id), "Device");
+        assert_eq!(it.label(TermId::from_u32(99)), "t99");
+    }
+}

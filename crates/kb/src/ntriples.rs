@@ -1,0 +1,431 @@
+//! Line-oriented N-Triples parsing and canonical serialisation.
+//!
+//! Supports the subset of N-Triples 1.1 needed for knowledge-base
+//! exchange: IRIs, blank nodes, plain / language-tagged / datatyped
+//! literals, `#` comments, and the standard string escapes
+//! (`\" \\ \n \r \t \u00XX \U000000XX`).
+
+use crate::term::Term;
+use std::fmt;
+
+/// Where parsing failed and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input document.
+    pub line: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a full N-Triples document into `(subject, predicate, object)`
+/// term tuples. Blank lines and `#` comment lines are skipped.
+pub fn parse_document(input: &str) -> Result<Vec<(Term, Term, Term)>, ParseError> {
+    let mut out = Vec::new();
+    for (ix, line) in input.lines().enumerate() {
+        if let Some(triple) = parse_line(line).map_err(|message| ParseError {
+            line: ix + 1,
+            message,
+        })? {
+            out.push(triple);
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a single line. Returns `Ok(None)` for blank/comment lines.
+pub fn parse_line(line: &str) -> Result<Option<(Term, Term, Term)>, String> {
+    let mut cur = Cursor::new(line);
+    cur.skip_ws();
+    if cur.at_end() || cur.peek() == Some('#') {
+        return Ok(None);
+    }
+    let subject = cur.parse_term()?;
+    if subject.is_literal() {
+        return Err("subject must not be a literal".into());
+    }
+    cur.require_ws()?;
+    let predicate = cur.parse_term()?;
+    if !predicate.is_iri() {
+        return Err("predicate must be an IRI".into());
+    }
+    cur.require_ws()?;
+    let object = cur.parse_term()?;
+    cur.skip_ws();
+    if cur.peek() == Some('.') {
+        cur.bump();
+    } else {
+        return Err("expected terminating '.'".into());
+    }
+    cur.skip_ws();
+    match cur.peek() {
+        None | Some('#') => Ok(Some((subject, predicate, object))),
+        Some(c) => Err(format!("trailing content after '.': {c:?}")),
+    }
+}
+
+/// Serialise one term in canonical N-Triples form (escaped) into `out`.
+pub fn write_term(out: &mut String, term: &Term) {
+    match term {
+        Term::Iri(iri) => {
+            out.push('<');
+            out.push_str(iri);
+            out.push('>');
+        }
+        Term::Literal {
+            lexical,
+            datatype,
+            lang,
+        } => {
+            out.push('"');
+            escape_into(out, lexical);
+            out.push('"');
+            if let Some(lang) = lang {
+                out.push('@');
+                out.push_str(lang);
+            } else if let Some(dt) = datatype {
+                out.push_str("^^<");
+                out.push_str(dt);
+                out.push('>');
+            }
+        }
+        Term::Blank(label) => {
+            out.push_str("_:");
+            out.push_str(label);
+        }
+    }
+}
+
+/// Serialise one triple (with trailing ` .\n`) into `out`.
+pub fn write_triple(out: &mut String, s: &Term, p: &Term, o: &Term) {
+    write_term(out, s);
+    out.push(' ');
+    write_term(out, p);
+    out.push(' ');
+    write_term(out, o);
+    out.push_str(" .\n");
+}
+
+/// Serialise an iterator of triples into one N-Triples document.
+pub fn write_document<'a>(triples: impl IntoIterator<Item = (&'a Term, &'a Term, &'a Term)>) -> String {
+    let mut out = String::new();
+    for (s, p, o) in triples {
+        write_triple(&mut out, s, p, o);
+    }
+    out
+}
+
+fn escape_into(out: &mut String, raw: &str) {
+    for ch in raw.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(line: &'a str) -> Self {
+        Cursor {
+            chars: line.chars().peekable(),
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        self.chars.next()
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.peek().is_none()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ') | Some('\t')) {
+            self.bump();
+        }
+    }
+
+    fn require_ws(&mut self) -> Result<(), String> {
+        if !matches!(self.peek(), Some(' ') | Some('\t')) {
+            return Err("expected whitespace between terms".into());
+        }
+        self.skip_ws();
+        Ok(())
+    }
+
+    fn parse_term(&mut self) -> Result<Term, String> {
+        match self.peek() {
+            Some('<') => self.parse_iri(),
+            Some('_') => self.parse_blank(),
+            Some('"') => self.parse_literal(),
+            Some(c) => Err(format!("unexpected character {c:?} at term start")),
+            None => Err("unexpected end of line, expected a term".into()),
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<Term, String> {
+        self.bump(); // '<'
+        let mut iri = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => return Ok(Term::Iri(iri.into_boxed_str())),
+                Some(c) if c == ' ' || c == '<' => {
+                    return Err(format!("invalid character {c:?} inside IRI"))
+                }
+                Some(c) => iri.push(c),
+                None => return Err("unterminated IRI".into()),
+            }
+        }
+    }
+
+    fn parse_blank(&mut self) -> Result<Term, String> {
+        self.bump(); // '_'
+        if self.bump() != Some(':') {
+            return Err("blank node must start with '_:'".into());
+        }
+        // Label charset is a subset of the spec's PN_CHARS: no '.' so the
+        // statement terminator never fuses with the label.
+        let mut label = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                label.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if label.is_empty() {
+            return Err("empty blank node label".into());
+        }
+        Ok(Term::Blank(label.into_boxed_str()))
+    }
+
+    fn parse_literal(&mut self) -> Result<Term, String> {
+        self.bump(); // '"'
+        let mut lexical = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('"') => lexical.push('"'),
+                    Some('\\') => lexical.push('\\'),
+                    Some('n') => lexical.push('\n'),
+                    Some('r') => lexical.push('\r'),
+                    Some('t') => lexical.push('\t'),
+                    Some('u') => lexical.push(self.parse_unicode_escape(4)?),
+                    Some('U') => lexical.push(self.parse_unicode_escape(8)?),
+                    Some(c) => return Err(format!("unknown escape sequence \\{c}")),
+                    None => return Err("dangling escape at end of line".into()),
+                },
+                Some(c) => lexical.push(c),
+                None => return Err("unterminated literal".into()),
+            }
+        }
+        match self.peek() {
+            Some('@') => {
+                self.bump();
+                let mut lang = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '-' {
+                        lang.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if lang.is_empty() {
+                    return Err("empty language tag".into());
+                }
+                Ok(Term::Literal {
+                    lexical: lexical.into_boxed_str(),
+                    datatype: None,
+                    lang: Some(lang.into_boxed_str()),
+                })
+            }
+            Some('^') => {
+                self.bump();
+                if self.bump() != Some('^') {
+                    return Err("datatype marker must be '^^'".into());
+                }
+                match self.parse_iri()? {
+                    Term::Iri(dt) => Ok(Term::Literal {
+                        lexical: lexical.into_boxed_str(),
+                        datatype: Some(dt),
+                        lang: None,
+                    }),
+                    _ => unreachable!("parse_iri returns Iri"),
+                }
+            }
+            _ => Ok(Term::Literal {
+                lexical: lexical.into_boxed_str(),
+                datatype: None,
+                lang: None,
+            }),
+        }
+    }
+
+    fn parse_unicode_escape(&mut self, digits: usize) -> Result<char, String> {
+        let mut value: u32 = 0;
+        for _ in 0..digits {
+            let c = self
+                .bump()
+                .ok_or_else(|| "truncated unicode escape".to_string())?;
+            let digit = c
+                .to_digit(16)
+                .ok_or_else(|| format!("invalid hex digit {c:?} in unicode escape"))?;
+            value = value * 16 + digit;
+        }
+        char::from_u32(value).ok_or_else(|| format!("invalid unicode scalar U+{value:X}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_triple() {
+        let got = parse_line("<http://x/a> <http://x/p> <http://x/b> .").unwrap();
+        assert_eq!(
+            got,
+            Some((
+                Term::iri("http://x/a"),
+                Term::iri("http://x/p"),
+                Term::iri("http://x/b")
+            ))
+        );
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        assert_eq!(parse_line("").unwrap(), None);
+        assert_eq!(parse_line("   ").unwrap(), None);
+        assert_eq!(parse_line("# comment").unwrap(), None);
+    }
+
+    #[test]
+    fn parses_literals_of_all_kinds() {
+        let (_, _, o) =
+            parse_line(r#"<http://x/a> <http://x/p> "plain" ."#).unwrap().unwrap();
+        assert_eq!(o, Term::literal("plain"));
+
+        let (_, _, o) =
+            parse_line(r#"<http://x/a> <http://x/p> "chat"@fr ."#).unwrap().unwrap();
+        assert_eq!(o, Term::lang_literal("chat", "fr"));
+
+        let (_, _, o) = parse_line(
+            r#"<http://x/a> <http://x/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            o,
+            Term::typed_literal("5", "http://www.w3.org/2001/XMLSchema#integer")
+        );
+    }
+
+    #[test]
+    fn parses_escapes() {
+        let (_, _, o) = parse_line(r#"<http://x/a> <http://x/p> "a\"b\\c\nd\te" ."#)
+            .unwrap()
+            .unwrap();
+        assert_eq!(o, Term::literal("a\"b\\c\nd\te"));
+
+        let (_, _, o) = parse_line(r#"<http://x/a> <http://x/p> "é\U0001F600" ."#)
+            .unwrap()
+            .unwrap();
+        assert_eq!(o, Term::literal("é😀"));
+    }
+
+    #[test]
+    fn parses_blank_nodes() {
+        let (s, _, o) = parse_line("_:b1 <http://x/p> _:b2 .").unwrap().unwrap();
+        assert_eq!(s, Term::blank("b1"));
+        assert_eq!(o, Term::blank("b2"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        // Missing dot.
+        assert!(parse_line("<http://x/a> <http://x/p> <http://x/b>").is_err());
+        // Literal subject.
+        assert!(parse_line(r#""lit" <http://x/p> <http://x/b> ."#).is_err());
+        // Non-IRI predicate.
+        assert!(parse_line("<http://x/a> _:b <http://x/b> .").is_err());
+        // Unterminated IRI.
+        assert!(parse_line("<http://x/a <http://x/p> <http://x/b> .").is_err());
+        // Unterminated literal.
+        assert!(parse_line(r#"<http://x/a> <http://x/p> "open ."#).is_err());
+        // Bad escape.
+        assert!(parse_line(r#"<http://x/a> <http://x/p> "\q" ."#).is_err());
+        // Trailing garbage.
+        assert!(parse_line("<http://x/a> <http://x/p> <http://x/b> . extra").is_err());
+        // Empty language tag.
+        assert!(parse_line(r#"<http://x/a> <http://x/p> "x"@ ."#).is_err());
+    }
+
+    #[test]
+    fn trailing_comment_after_dot_is_ok() {
+        assert!(parse_line("<http://x/a> <http://x/p> <http://x/b> . # note")
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn document_reports_line_numbers() {
+        let doc = "<http://x/a> <http://x/p> <http://x/b> .\nbroken line\n";
+        let err = parse_document(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn serialise_parse_roundtrip() {
+        let triples = vec![
+            (
+                Term::iri("http://x/a"),
+                Term::iri("http://x/p"),
+                Term::literal("tricky \"quote\" \\slash\\ \nnewline"),
+            ),
+            (
+                Term::blank("b0"),
+                Term::iri("http://x/q"),
+                Term::lang_literal("hello", "en-GB"),
+            ),
+            (
+                Term::iri("http://x/a"),
+                Term::iri("http://x/r"),
+                Term::typed_literal("3.14", "http://www.w3.org/2001/XMLSchema#double"),
+            ),
+        ];
+        let doc = write_document(triples.iter().map(|(s, p, o)| (s, p, o)));
+        let parsed = parse_document(&doc).unwrap();
+        assert_eq!(parsed, triples);
+    }
+
+    #[test]
+    fn write_term_escapes() {
+        let mut out = String::new();
+        write_term(&mut out, &Term::literal("a\"b"));
+        assert_eq!(out, r#""a\"b""#);
+    }
+}

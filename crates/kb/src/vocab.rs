@@ -1,0 +1,183 @@
+//! Well-known RDF / RDFS / OWL / XSD vocabulary IRIs and a pre-interned
+//! bundle of the ones the schema extractor needs on its hot path.
+
+use crate::interner::TermInterner;
+use crate::term::{Term, TermId};
+
+/// `rdf:type`
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+/// `rdf:Property`
+pub const RDF_PROPERTY: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+/// `rdfs:subClassOf`
+pub const RDFS_SUBCLASSOF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+/// `rdfs:subPropertyOf`
+pub const RDFS_SUBPROPERTYOF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+/// `rdfs:domain`
+pub const RDFS_DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+/// `rdfs:range`
+pub const RDFS_RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+/// `rdfs:label`
+pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+/// `rdfs:comment`
+pub const RDFS_COMMENT: &str = "http://www.w3.org/2000/01/rdf-schema#comment";
+/// `rdfs:Class`
+pub const RDFS_CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
+/// `rdfs:Literal`
+pub const RDFS_LITERAL: &str = "http://www.w3.org/2000/01/rdf-schema#Literal";
+/// `owl:Class`
+pub const OWL_CLASS: &str = "http://www.w3.org/2002/07/owl#Class";
+/// `owl:ObjectProperty`
+pub const OWL_OBJECT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#ObjectProperty";
+/// `owl:DatatypeProperty`
+pub const OWL_DATATYPE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#DatatypeProperty";
+/// `owl:Thing`
+pub const OWL_THING: &str = "http://www.w3.org/2002/07/owl#Thing";
+/// `xsd:string`
+pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+/// `xsd:integer`
+pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+/// `xsd:double`
+pub const XSD_DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+/// `xsd:boolean`
+pub const XSD_BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+/// `xsd:dateTime`
+pub const XSD_DATETIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+
+/// The core vocabulary pre-interned into a [`TermInterner`].
+///
+/// Schema extraction and change detection test predicates against these
+/// ids in tight loops; resolving them once up front avoids per-triple
+/// string comparisons.
+#[derive(Copy, Clone, Debug)]
+pub struct Vocab {
+    /// `rdf:type`
+    pub rdf_type: TermId,
+    /// `rdf:Property`
+    pub rdf_property: TermId,
+    /// `rdfs:subClassOf`
+    pub rdfs_subclassof: TermId,
+    /// `rdfs:subPropertyOf`
+    pub rdfs_subpropertyof: TermId,
+    /// `rdfs:domain`
+    pub rdfs_domain: TermId,
+    /// `rdfs:range`
+    pub rdfs_range: TermId,
+    /// `rdfs:label`
+    pub rdfs_label: TermId,
+    /// `rdfs:comment`
+    pub rdfs_comment: TermId,
+    /// `rdfs:Class`
+    pub rdfs_class: TermId,
+    /// `owl:Class`
+    pub owl_class: TermId,
+    /// `owl:ObjectProperty`
+    pub owl_object_property: TermId,
+    /// `owl:DatatypeProperty`
+    pub owl_datatype_property: TermId,
+}
+
+impl Vocab {
+    /// Intern (or look up) the core vocabulary in `interner`.
+    pub fn install(interner: &mut TermInterner) -> Vocab {
+        let mut id = |iri: &str| interner.intern(Term::iri(iri));
+        Vocab {
+            rdf_type: id(RDF_TYPE),
+            rdf_property: id(RDF_PROPERTY),
+            rdfs_subclassof: id(RDFS_SUBCLASSOF),
+            rdfs_subpropertyof: id(RDFS_SUBPROPERTYOF),
+            rdfs_domain: id(RDFS_DOMAIN),
+            rdfs_range: id(RDFS_RANGE),
+            rdfs_label: id(RDFS_LABEL),
+            rdfs_comment: id(RDFS_COMMENT),
+            rdfs_class: id(RDFS_CLASS),
+            owl_class: id(OWL_CLASS),
+            owl_object_property: id(OWL_OBJECT_PROPERTY),
+            owl_datatype_property: id(OWL_DATATYPE_PROPERTY),
+        }
+    }
+
+    /// `true` if `id` is one of the installed schema-level predicates
+    /// (`rdf:type`, subsumption, domain/range, annotation properties).
+    pub fn is_schema_predicate(&self, id: TermId) -> bool {
+        id == self.rdf_type
+            || id == self.rdfs_subclassof
+            || id == self.rdfs_subpropertyof
+            || id == self.rdfs_domain
+            || id == self.rdfs_range
+            || id == self.rdfs_label
+            || id == self.rdfs_comment
+    }
+
+    /// `true` if `id` denotes a class-declaring type
+    /// (`rdfs:Class` / `owl:Class`).
+    pub fn is_class_type(&self, id: TermId) -> bool {
+        id == self.rdfs_class || id == self.owl_class
+    }
+
+    /// `true` if `id` denotes a property-declaring type
+    /// (`rdf:Property` / `owl:ObjectProperty` / `owl:DatatypeProperty`).
+    pub fn is_property_type(&self, id: TermId) -> bool {
+        id == self.rdf_property
+            || id == self.owl_object_property
+            || id == self.owl_datatype_property
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_idempotent() {
+        let mut it = TermInterner::new();
+        let v1 = Vocab::install(&mut it);
+        let before = it.len();
+        let v2 = Vocab::install(&mut it);
+        assert_eq!(it.len(), before, "second install must not grow interner");
+        assert_eq!(v1.rdf_type, v2.rdf_type);
+        assert_eq!(v1.rdfs_subclassof, v2.rdfs_subclassof);
+    }
+
+    #[test]
+    fn classifiers_partition_vocabulary() {
+        let mut it = TermInterner::new();
+        let v = Vocab::install(&mut it);
+        assert!(v.is_schema_predicate(v.rdf_type));
+        assert!(v.is_schema_predicate(v.rdfs_domain));
+        assert!(!v.is_schema_predicate(v.owl_class));
+        assert!(v.is_class_type(v.rdfs_class));
+        assert!(v.is_class_type(v.owl_class));
+        assert!(!v.is_class_type(v.rdf_property));
+        assert!(v.is_property_type(v.rdf_property));
+        assert!(v.is_property_type(v.owl_object_property));
+        assert!(!v.is_property_type(v.rdfs_class));
+    }
+
+    #[test]
+    fn constants_are_wellformed_iris() {
+        for iri in [
+            RDF_TYPE,
+            RDF_PROPERTY,
+            RDFS_SUBCLASSOF,
+            RDFS_SUBPROPERTYOF,
+            RDFS_DOMAIN,
+            RDFS_RANGE,
+            RDFS_LABEL,
+            RDFS_COMMENT,
+            RDFS_CLASS,
+            RDFS_LITERAL,
+            OWL_CLASS,
+            OWL_OBJECT_PROPERTY,
+            OWL_DATATYPE_PROPERTY,
+            OWL_THING,
+            XSD_STRING,
+            XSD_INTEGER,
+            XSD_DOUBLE,
+            XSD_BOOLEAN,
+            XSD_DATETIME,
+        ] {
+            assert!(iri.starts_with("http://"), "{iri}");
+            assert!(!iri.contains(' '));
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Shared evaluation context for one evolution step.
+
+use evorec_graph::{betweenness, bridging_centrality_with, SchemaGraph};
+use evorec_kb::{SchemaView, TermId};
+use evorec_versioning::{ChangeSet, LowLevelDelta, VersionId, VersionedStore};
+use std::sync::{Arc, OnceLock};
+
+/// Everything a measure needs about one evolution step V_from → V_to,
+/// built once and shared.
+///
+/// Measures are pure functions of this context; the expensive artefacts
+/// (delta, schema views, class graphs, centrality vectors) are either
+/// built eagerly once or memoised lazily behind [`OnceLock`]s, so
+/// evaluating the full measure registry costs each substrate exactly
+/// once.
+pub struct EvolutionContext {
+    /// The earlier version.
+    pub from: VersionId,
+    /// The later version.
+    pub to: VersionId,
+    /// Low-level delta of the step.
+    pub delta: Arc<LowLevelDelta>,
+    /// Schema view of the earlier version.
+    pub before: Arc<SchemaView>,
+    /// Schema view of the later version.
+    pub after: Arc<SchemaView>,
+    /// High-level changes of the step.
+    pub changes: Arc<ChangeSet>,
+    /// Class graph of the earlier version.
+    pub graph_before: Arc<SchemaGraph>,
+    /// Class graph of the later version.
+    pub graph_after: Arc<SchemaGraph>,
+    /// Class graph over the union of both versions' classes and
+    /// adjacencies — the N_{V1,V2} universe of the paper's §II(b).
+    pub graph_union: Arc<SchemaGraph>,
+    betweenness_before: OnceLock<Arc<Vec<f64>>>,
+    betweenness_after: OnceLock<Arc<Vec<f64>>>,
+    bridging_before: OnceLock<Arc<Vec<f64>>>,
+    bridging_after: OnceLock<Arc<Vec<f64>>>,
+}
+
+impl EvolutionContext {
+    /// Build the context for the step `from` → `to` of `store`.
+    ///
+    /// # Panics
+    /// Panics if either version is unknown to `store`.
+    pub fn build(store: &VersionedStore, from: VersionId, to: VersionId) -> EvolutionContext {
+        let delta = store.delta(from, to);
+        let before = store.schema_view(from);
+        let after = store.schema_view(to);
+        let changes = Arc::new(ChangeSet::detect(&delta, &before, &after, store.vocab()));
+        let graph_before = Arc::new(SchemaGraph::from_schema_view(&before));
+        let graph_after = Arc::new(SchemaGraph::from_schema_view(&after));
+        let graph_union = Arc::new(union_graph(&before, &after));
+        EvolutionContext {
+            from,
+            to,
+            delta,
+            before,
+            after,
+            changes,
+            graph_before,
+            graph_after,
+            graph_union,
+            betweenness_before: OnceLock::new(),
+            betweenness_after: OnceLock::new(),
+            bridging_before: OnceLock::new(),
+            bridging_after: OnceLock::new(),
+        }
+    }
+
+    /// Betweenness of the earlier class graph (memoised).
+    pub fn betweenness_before(&self) -> &Arc<Vec<f64>> {
+        self.betweenness_before
+            .get_or_init(|| Arc::new(betweenness(&self.graph_before)))
+    }
+
+    /// Betweenness of the later class graph (memoised).
+    pub fn betweenness_after(&self) -> &Arc<Vec<f64>> {
+        self.betweenness_after
+            .get_or_init(|| Arc::new(betweenness(&self.graph_after)))
+    }
+
+    /// Bridging centrality of the earlier class graph (memoised).
+    pub fn bridging_before(&self) -> &Arc<Vec<f64>> {
+        self.bridging_before.get_or_init(|| {
+            Arc::new(bridging_centrality_with(
+                &self.graph_before,
+                self.betweenness_before(),
+            ))
+        })
+    }
+
+    /// Bridging centrality of the later class graph (memoised).
+    pub fn bridging_after(&self) -> &Arc<Vec<f64>> {
+        self.bridging_after.get_or_init(|| {
+            Arc::new(bridging_centrality_with(
+                &self.graph_after,
+                self.betweenness_after(),
+            ))
+        })
+    }
+
+    /// All classes present in either version, ascending by id.
+    pub fn all_classes(&self) -> Vec<TermId> {
+        let mut out: Vec<TermId> = self
+            .before
+            .classes()
+            .iter()
+            .chain(self.after.classes().iter())
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All properties present in either version, ascending by id.
+    pub fn all_properties(&self) -> Vec<TermId> {
+        let mut out: Vec<TermId> = self
+            .before
+            .properties()
+            .iter()
+            .chain(self.after.properties().iter())
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Build the union class graph of two schema views: nodes are the union
+/// of class sets, edges the union of class adjacencies.
+fn union_graph(before: &SchemaView, after: &SchemaView) -> SchemaGraph {
+    let mut nodes: Vec<TermId> = before
+        .classes()
+        .iter()
+        .chain(after.classes().iter())
+        .copied()
+        .collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let mut edges: Vec<(TermId, TermId)> = Vec::new();
+    for view in [before, after] {
+        for &c in view.classes() {
+            for n in view.adjacent_classes(c) {
+                if c < n {
+                    edges.push((c, n));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    SchemaGraph::from_edges(nodes, &edges)
+}
+
+impl std::fmt::Debug for EvolutionContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvolutionContext")
+            .field("from", &self.from)
+            .field("to", &self.to)
+            .field("delta_size", &self.delta.size())
+            .field("classes_union", &self.graph_union.node_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evorec_kb::{TripleStore, Triple};
+
+    /// Two-version store: V0 has A⊑B; V1 adds C⊑B and an instance edge.
+    fn store() -> (VersionedStore, VersionId, VersionId, [TermId; 3]) {
+        let mut vs = VersionedStore::new();
+        let a = vs.intern_iri("http://x/A");
+        let b = vs.intern_iri("http://x/B");
+        let c = vs.intern_iri("http://x/C");
+        let v = *vs.vocab();
+        let mut s0 = TripleStore::new();
+        s0.insert(Triple::new(a, v.rdfs_subclassof, b));
+        let v0 = vs.commit_snapshot("v0", s0.clone());
+        let mut s1 = s0;
+        s1.insert(Triple::new(c, v.rdfs_subclassof, b));
+        let v1 = vs.commit_snapshot("v1", s1);
+        (vs, v0, v1, [a, b, c])
+    }
+
+    #[test]
+    fn build_populates_all_artifacts() {
+        let (vs, v0, v1, [a, b, c]) = store();
+        let ctx = EvolutionContext::build(&vs, v0, v1);
+        assert_eq!(ctx.delta.added_count(), 1);
+        assert_eq!(ctx.delta.removed_count(), 0);
+        assert!(ctx.before.is_class(a) && ctx.before.is_class(b));
+        assert!(!ctx.before.is_class(c));
+        assert!(ctx.after.is_class(c));
+        assert_eq!(ctx.graph_before.node_count(), 2);
+        assert_eq!(ctx.graph_after.node_count(), 3);
+        assert_eq!(ctx.graph_union.node_count(), 3);
+        assert_eq!(ctx.changes.len(), 2, "AddClass(C) + AddSubclass(C,B)");
+    }
+
+    #[test]
+    fn all_classes_unions_versions() {
+        let (vs, v0, v1, [a, b, c]) = store();
+        let ctx = EvolutionContext::build(&vs, v0, v1);
+        assert_eq!(ctx.all_classes(), {
+            let mut v = vec![a, b, c];
+            v.sort_unstable();
+            v
+        });
+    }
+
+    #[test]
+    fn centralities_memoise() {
+        let (vs, v0, v1, _) = store();
+        let ctx = EvolutionContext::build(&vs, v0, v1);
+        let b1 = Arc::clone(ctx.betweenness_after());
+        let b2 = Arc::clone(ctx.betweenness_after());
+        assert!(Arc::ptr_eq(&b1, &b2));
+        let br1 = Arc::clone(ctx.bridging_before());
+        let br2 = Arc::clone(ctx.bridging_before());
+        assert!(Arc::ptr_eq(&br1, &br2));
+        assert_eq!(b1.len(), ctx.graph_after.node_count());
+    }
+
+    #[test]
+    fn union_graph_carries_removed_classes() {
+        // Reverse direction: the "before" of v1→v0 still contains C.
+        let (vs, v0, v1, [_, _, c]) = store();
+        let ctx = EvolutionContext::build(&vs, v1, v0);
+        assert!(ctx.graph_union.node_of(c).is_some());
+        assert_eq!(ctx.delta.removed_count(), 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Rank-similarity utilities between measure reports.
+//!
+//! The recommender's content-based diversity (§III(c)) needs a distance
+//! between measures: two measures that rank the same elements the same
+//! way are redundant in a recommendation set. These comparators also
+//! drive the E3 "complementarity" experiment showing the §II measures
+//! capture genuinely different views of evolution.
+
+use crate::report::MeasureReport;
+use evorec_kb::TermId;
+
+/// Kendall rank correlation (τ-a) between the two reports' rankings,
+/// computed over terms ranked by *both*. Returns `None` when fewer than
+/// two common terms exist. O(n log n) via merge-sort inversion counting.
+pub fn kendall_tau(a: &MeasureReport, b: &MeasureReport) -> Option<f64> {
+    let common = common_terms(a, b);
+    let n = common.len();
+    if n < 2 {
+        return None;
+    }
+    // Order common terms by a's rank, then count inversions in b's ranks.
+    let mut pairs: Vec<(usize, usize)> = common
+        .iter()
+        .map(|&t| (a.rank_of(t).expect("common"), b.rank_of(t).expect("common")))
+        .collect();
+    pairs.sort_unstable_by_key(|&(ra, _)| ra);
+    let mut b_ranks: Vec<usize> = pairs.into_iter().map(|(_, rb)| rb).collect();
+    let inversions = count_inversions(&mut b_ranks);
+    let total_pairs = (n * (n - 1) / 2) as f64;
+    Some(1.0 - 2.0 * inversions as f64 / total_pairs)
+}
+
+/// Spearman rank correlation (ρ) over common terms; `None` below two
+/// common terms.
+pub fn spearman_rho(a: &MeasureReport, b: &MeasureReport) -> Option<f64> {
+    let common = common_terms(a, b);
+    let n = common.len();
+    if n < 2 {
+        return None;
+    }
+    // Re-rank within the common subset to keep ranks dense.
+    let mut by_a: Vec<TermId> = common.clone();
+    by_a.sort_unstable_by_key(|&t| a.rank_of(t).expect("common"));
+    let mut by_b: Vec<TermId> = common;
+    by_b.sort_unstable_by_key(|&t| b.rank_of(t).expect("common"));
+    let pos_b: evorec_kb::FxHashMap<TermId, usize> = by_b
+        .iter()
+        .enumerate()
+        .map(|(ix, &t)| (t, ix))
+        .collect();
+    let sum_d2: f64 = by_a
+        .iter()
+        .enumerate()
+        .map(|(ra, &t)| {
+            let d = ra as f64 - pos_b[&t] as f64;
+            d * d
+        })
+        .sum();
+    let nf = n as f64;
+    Some(1.0 - 6.0 * sum_d2 / (nf * (nf * nf - 1.0)))
+}
+
+/// Jaccard similarity of the two reports' top-k term sets.
+pub fn jaccard_at_k(a: &MeasureReport, b: &MeasureReport, k: usize) -> f64 {
+    let ta = a.top_k_terms(k);
+    let tb = b.top_k_terms(k);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let inter = intersection_size(&ta, &tb);
+    let union = ta.len() + tb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Overlap coefficient of the two top-k sets: |∩| / min(|A|,|B|).
+pub fn overlap_at_k(a: &MeasureReport, b: &MeasureReport, k: usize) -> f64 {
+    let ta = a.top_k_terms(k);
+    let tb = b.top_k_terms(k);
+    let min = ta.len().min(tb.len());
+    if min == 0 {
+        return 0.0;
+    }
+    intersection_size(&ta, &tb) as f64 / min as f64
+}
+
+/// A normalised distance in \[0,1\] between two reports for diversity
+/// selection: `1 − (τ+1)/2` when τ is defined, else `1 − Jaccard@k`
+/// (falling back to set overlap when rankings do not intersect enough).
+pub fn content_distance(a: &MeasureReport, b: &MeasureReport, k: usize) -> f64 {
+    match kendall_tau(a, b) {
+        Some(tau) => 1.0 - (tau + 1.0) / 2.0,
+        None => 1.0 - jaccard_at_k(a, b, k),
+    }
+}
+
+fn common_terms(a: &MeasureReport, b: &MeasureReport) -> Vec<TermId> {
+    a.scores()
+        .iter()
+        .map(|&(t, _)| t)
+        .filter(|&t| b.rank_of(t).is_some())
+        .collect()
+}
+
+fn intersection_size(sorted_a: &[TermId], sorted_b: &[TermId]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < sorted_a.len() && j < sorted_b.len() {
+        match sorted_a[i].cmp(&sorted_b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Count inversions in `values` (mutating it into sorted order).
+fn count_inversions(values: &mut [usize]) -> u64 {
+    let mut buffer = vec![0usize; values.len()];
+    merge_count(values, &mut buffer)
+}
+
+fn merge_count(values: &mut [usize], buffer: &mut [usize]) -> u64 {
+    let n = values.len();
+    if n <= 1 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = values.split_at_mut(mid);
+    let mut inversions = merge_count(left, buffer) + merge_count(right, buffer);
+    // Merge.
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < left.len() && j < right.len() {
+        if left[i] <= right[j] {
+            buffer[k] = left[i];
+            i += 1;
+        } else {
+            buffer[k] = right[j];
+            inversions += (left.len() - i) as u64;
+            j += 1;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        buffer[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        buffer[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+    values.copy_from_slice(&buffer[..n]);
+    inversions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{MeasureCategory, MeasureId, TargetKind};
+
+    fn t(n: u32) -> TermId {
+        TermId::from_u32(n)
+    }
+
+    fn report(scores: &[(u32, f64)]) -> MeasureReport {
+        MeasureReport::from_scores(
+            MeasureId::new("r"),
+            MeasureCategory::ChangeCounting,
+            TargetKind::Classes,
+            scores.iter().map(|&(n, s)| (t(n), s)).collect(),
+        )
+    }
+
+    #[test]
+    fn identical_rankings_have_tau_one() {
+        let a = report(&[(1, 3.0), (2, 2.0), (3, 1.0)]);
+        let b = report(&[(1, 30.0), (2, 20.0), (3, 10.0)]);
+        assert_eq!(kendall_tau(&a, &b), Some(1.0));
+        assert_eq!(spearman_rho(&a, &b), Some(1.0));
+        assert_eq!(content_distance(&a, &b, 3), 0.0);
+    }
+
+    #[test]
+    fn reversed_rankings_have_tau_minus_one() {
+        let a = report(&[(1, 3.0), (2, 2.0), (3, 1.0)]);
+        let b = report(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
+        assert_eq!(kendall_tau(&a, &b), Some(-1.0));
+        assert_eq!(spearman_rho(&a, &b), Some(-1.0));
+        assert_eq!(content_distance(&a, &b, 3), 1.0);
+    }
+
+    #[test]
+    fn single_swap_tau() {
+        // Rankings 1,2,3,4 vs 1,3,2,4: one discordant pair of six.
+        let a = report(&[(1, 4.0), (2, 3.0), (3, 2.0), (4, 1.0)]);
+        let b = report(&[(1, 4.0), (3, 3.0), (2, 2.0), (4, 1.0)]);
+        let tau = kendall_tau(&a, &b).unwrap();
+        assert!((tau - (1.0 - 2.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_restricted_to_common_terms() {
+        let a = report(&[(1, 3.0), (2, 2.0), (9, 1.5), (3, 1.0)]);
+        let b = report(&[(1, 9.0), (2, 8.0), (3, 7.0), (8, 1.0)]);
+        // Common = {1,2,3}, identically ordered.
+        assert_eq!(kendall_tau(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn tau_undefined_below_two_common() {
+        let a = report(&[(1, 1.0)]);
+        let b = report(&[(2, 1.0)]);
+        assert_eq!(kendall_tau(&a, &b), None);
+        assert_eq!(spearman_rho(&a, &b), None);
+    }
+
+    #[test]
+    fn jaccard_and_overlap_at_k() {
+        let a = report(&[(1, 4.0), (2, 3.0), (3, 2.0), (4, 1.0)]);
+        let b = report(&[(3, 4.0), (4, 3.0), (5, 2.0), (6, 1.0)]);
+        // top-2: {1,2} vs {3,4} → 0.
+        assert_eq!(jaccard_at_k(&a, &b, 2), 0.0);
+        // top-4: {1..4} vs {3..6} → 2/6.
+        assert!((jaccard_at_k(&a, &b, 4) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((overlap_at_k(&a, &b, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(overlap_at_k(&report(&[]), &b, 4), 0.0);
+    }
+
+    #[test]
+    fn jaccard_of_two_empty_reports_is_one() {
+        assert_eq!(jaccard_at_k(&report(&[]), &report(&[]), 5), 1.0);
+    }
+
+    #[test]
+    fn content_distance_falls_back_to_jaccard() {
+        let a = report(&[(1, 1.0)]);
+        let b = report(&[(2, 1.0)]);
+        assert_eq!(content_distance(&a, &b, 1), 1.0);
+        let c = report(&[(1, 1.0)]);
+        assert_eq!(content_distance(&a, &c, 1), 0.0);
+    }
+
+    #[test]
+    fn inversion_counter_matches_bruteforce() {
+        let cases: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![0],
+            vec![1, 0],
+            vec![2, 1, 0],
+            vec![0, 2, 1, 4, 3],
+            vec![5, 4, 3, 2, 1, 0],
+        ];
+        for case in cases {
+            let brute = {
+                let mut n = 0u64;
+                for i in 0..case.len() {
+                    for j in (i + 1)..case.len() {
+                        if case[i] > case[j] {
+                            n += 1;
+                        }
+                    }
+                }
+                n
+            };
+            let mut buf = case.clone();
+            assert_eq!(count_inversions(&mut buf), brute, "{case:?}");
+            let mut sorted = case.clone();
+            sorted.sort_unstable();
+            assert_eq!(buf, sorted, "mergesort must sort {case:?}");
+        }
+    }
+}

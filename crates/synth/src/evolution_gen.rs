@@ -1,0 +1,459 @@
+//! Evolution scenarios: parameterised change generators.
+//!
+//! Each scenario mutates the head snapshot of a [`GeneratedKb`] and
+//! commits the result as a new version, returning the ground truth the
+//! experiments score against (e.g. which classes were the planted
+//! hotspot). Scenarios cover the change regimes the paper's measures are
+//! meant to distinguish: spatially uniform churn, concentrated hotspots,
+//! growth, drift between regions, topology-only refactors, and the E4
+//! "few changes, big impact vs many changes, little impact" contrast.
+
+use crate::schema_gen::GeneratedKb;
+use evorec_kb::{TermId, Triple, TripleStore};
+use evorec_versioning::VersionId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A parameterised evolution step.
+#[derive(Clone, Debug)]
+pub enum Scenario {
+    /// Add/remove instance-level triples uniformly across classes.
+    /// `rate` is the fraction of base instance triples churned.
+    UniformChurn {
+        /// Fraction of instance-level triples to churn.
+        rate: f64,
+    },
+    /// Churn concentrated on a few focus classes (and their subtrees).
+    Hotspot {
+        /// How many hotspot classes to plant.
+        focus_classes: usize,
+        /// Fraction of instance-level triples to churn.
+        rate: f64,
+        /// Probability that an operation targets the hotspot.
+        concentration: f64,
+    },
+    /// Pure growth: only additions, uniform across classes.
+    Growth {
+        /// New instances as a fraction of the current instance count.
+        rate: f64,
+    },
+    /// Instances drain from one subtree and accrete in another.
+    Drift {
+        /// Fraction of the source subtree's instance typings to move.
+        rate: f64,
+    },
+    /// Re-parent `moves` classes (topology change, few triples).
+    SchemaRefactor {
+        /// Number of classes to move.
+        moves: usize,
+    },
+    /// The E4 contrast: move the best-connected class to a new parent
+    /// (2 triples, large structural impact) AND spam one quiet leaf class
+    /// with `spam_instances` new instances (many triples, local impact).
+    CountVsImpact {
+        /// Number of spam instances added to the quiet leaf.
+        spam_instances: usize,
+    },
+}
+
+/// What an evolution step did, with ground truth for evaluation.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// The committed version.
+    pub version: VersionId,
+    /// Classes the scenario deliberately concentrated change on
+    /// (empty for spatially uniform scenarios).
+    pub focus_classes: Vec<TermId>,
+    /// For [`Scenario::CountVsImpact`]: `(moved_hub, spammed_leaf)`.
+    pub contrast: Option<(TermId, TermId)>,
+    /// Triples added by the step.
+    pub added: usize,
+    /// Triples removed by the step.
+    pub removed: usize,
+}
+
+impl GeneratedKb {
+    /// Apply `scenario` to the head version and commit the result.
+    pub fn evolve(&mut self, scenario: &Scenario, seed: u64) -> ScenarioOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let head = self.store.head().expect("generated KB has a base version");
+        let mut snapshot = self.store.snapshot(head).clone();
+        let before = snapshot.len();
+        let vocab = *self.store.vocab();
+        let rdf_type = vocab.rdf_type;
+
+        let mut focus_classes = Vec::new();
+        let mut contrast = None;
+
+        match *scenario {
+            Scenario::UniformChurn { rate } => {
+                let candidates = instance_triples(&snapshot, self, rdf_type);
+                let ops = (candidates.len() as f64 * rate).ceil() as usize;
+                churn(self, &mut snapshot, &candidates, ops, None, 0.0, &mut rng);
+            }
+            Scenario::Hotspot {
+                focus_classes: n_focus,
+                rate,
+                concentration,
+            } => {
+                let n_focus = n_focus.clamp(1, self.classes.len());
+                // Deterministically pick distinct focus classes.
+                let mut picked = Vec::new();
+                while picked.len() < n_focus {
+                    let c = rng.gen_range(0..self.classes.len());
+                    if !picked.contains(&c) {
+                        picked.push(c);
+                    }
+                }
+                focus_classes = picked.iter().map(|&c| self.classes[c]).collect();
+                let candidates = instance_triples(&snapshot, self, rdf_type);
+                let ops = (candidates.len() as f64 * rate).ceil() as usize;
+                churn(
+                    self,
+                    &mut snapshot,
+                    &candidates,
+                    ops,
+                    Some(&picked),
+                    concentration,
+                    &mut rng,
+                );
+            }
+            Scenario::Growth { rate } => {
+                let new = (self.instances.len() as f64 * rate).ceil() as usize;
+                for _ in 0..new {
+                    add_instance(self, &mut snapshot, None, &mut rng);
+                }
+            }
+            Scenario::Drift { rate } => {
+                // Source: the subtree of the root's first child; sink: the
+                // subtree of its last child (fall back to root when the
+                // tree is degenerate).
+                let kids = self.children_of(0);
+                let (src, dst) = match (kids.first(), kids.last()) {
+                    (Some(&a), Some(&b)) if a != b => (a, b),
+                    _ => (0, 0),
+                };
+                let src_classes = self.subtree_of(src);
+                let dst_classes = self.subtree_of(dst);
+                focus_classes = vec![self.classes[src], self.classes[dst]];
+                // Move typed instances: retype from a source class to a
+                // sink class.
+                let movable: Vec<(usize, usize)> = self
+                    .instance_class
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| src_classes.contains(&c))
+                    .map(|(i, &c)| (i, c))
+                    .collect();
+                let moves = (movable.len() as f64 * rate).ceil() as usize;
+                for _ in 0..moves.min(movable.len()) {
+                    let (inst_ix, old_class) = movable[rng.gen_range(0..movable.len())];
+                    let new_class = dst_classes[rng.gen_range(0..dst_classes.len())];
+                    let inst = self.instances[inst_ix];
+                    snapshot.remove(&Triple::new(inst, rdf_type, self.classes[old_class]));
+                    snapshot.insert(Triple::new(inst, rdf_type, self.classes[new_class]));
+                    self.instance_class[inst_ix] = new_class;
+                }
+            }
+            Scenario::SchemaRefactor { moves } => {
+                for _ in 0..moves {
+                    if let Some(class) = self.random_movable_class(&mut rng) {
+                        focus_classes.push(self.classes[class]);
+                        self.reparent(class, &mut snapshot, &mut rng);
+                    }
+                }
+            }
+            Scenario::CountVsImpact { spam_instances } => {
+                // Hub: the class with the most subclass-tree children.
+                let hub = (1..self.classes.len())
+                    .max_by_key(|&c| self.children_of(c).len())
+                    .unwrap_or(0);
+                // Quiet leaf: a childless class distinct from the hub.
+                let leaf = (1..self.classes.len())
+                    .rev()
+                    .find(|&c| self.children_of(c).is_empty() && c != hub)
+                    .unwrap_or(self.classes.len() - 1);
+                self.reparent(hub, &mut snapshot, &mut rng);
+                for _ in 0..spam_instances {
+                    add_instance(self, &mut snapshot, Some(leaf), &mut rng);
+                }
+                contrast = Some((self.classes[hub], self.classes[leaf]));
+                focus_classes = vec![self.classes[hub], self.classes[leaf]];
+            }
+        }
+
+        let after = snapshot.len();
+        let head_snapshot = self.store.snapshot(head).clone();
+        let added = snapshot.difference(&head_snapshot).count();
+        let removed = head_snapshot.difference(&snapshot).count();
+        let _ = (before, after);
+        let version = self
+            .store
+            .commit_snapshot(format!("{scenario:?}"), snapshot);
+        ScenarioOutcome {
+            version,
+            focus_classes,
+            contrast,
+            added,
+            removed,
+        }
+    }
+
+    /// A non-root class that can be re-parented without creating a cycle.
+    fn random_movable_class(&self, rng: &mut StdRng) -> Option<usize> {
+        if self.classes.len() < 3 {
+            return None;
+        }
+        Some(rng.gen_range(1..self.classes.len()))
+    }
+
+    /// Re-parent `class` to a random non-descendant; updates both the
+    /// snapshot and the ground-truth tree.
+    fn reparent(&mut self, class: usize, snapshot: &mut TripleStore, rng: &mut StdRng) {
+        let vocab = *self.store.vocab();
+        let subtree = self.subtree_of(class);
+        let candidates: Vec<usize> = (0..self.classes.len())
+            .filter(|c| !subtree.contains(c))
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let new_parent = candidates[rng.gen_range(0..candidates.len())];
+        if let Some(old_parent) = self.class_parent[class] {
+            if old_parent == new_parent {
+                return;
+            }
+            snapshot.remove(&Triple::new(
+                self.classes[class],
+                vocab.rdfs_subclassof,
+                self.classes[old_parent],
+            ));
+        }
+        snapshot.insert(Triple::new(
+            self.classes[class],
+            vocab.rdfs_subclassof,
+            self.classes[new_parent],
+        ));
+        self.class_parent[class] = Some(new_parent);
+    }
+}
+
+/// Instance-level triples currently in the snapshot (typings + links).
+fn instance_triples(
+    snapshot: &TripleStore,
+    kb: &GeneratedKb,
+    rdf_type: TermId,
+) -> Vec<Triple> {
+    let class_set: evorec_kb::FxHashSet<TermId> = kb.classes.iter().copied().collect();
+    let prop_set: evorec_kb::FxHashSet<TermId> =
+        kb.properties.iter().map(|&(p, _, _)| p).collect();
+    snapshot
+        .iter()
+        .filter(|t| {
+            (t.p == rdf_type && class_set.contains(&t.o)) || prop_set.contains(&t.p)
+        })
+        .collect()
+}
+
+/// Perform `ops` add/remove operations. With `focus` set, an operation
+/// targets the focus classes with probability `concentration`.
+fn churn(
+    kb: &mut GeneratedKb,
+    snapshot: &mut TripleStore,
+    candidates: &[Triple],
+    ops: usize,
+    focus: Option<&[usize]>,
+    concentration: f64,
+    rng: &mut StdRng,
+) {
+    let rdf_type = kb.store.vocab().rdf_type;
+    for _ in 0..ops {
+        let target_class = match focus {
+            Some(picked) if rng.gen_bool(concentration.clamp(0.0, 1.0)) => {
+                Some(picked[rng.gen_range(0..picked.len())])
+            }
+            _ => None,
+        };
+        if rng.gen_bool(0.5) {
+            add_instance(kb, snapshot, target_class, rng);
+        } else {
+            // Remove: prefer a candidate triple touching the target class.
+            let victim = match target_class {
+                Some(class) => {
+                    let class_term = kb.classes[class];
+                    candidates
+                        .iter()
+                        .filter(|t| t.mentions(class_term))
+                        .nth(rng.gen_range(0..candidates.len().max(1)) % candidates.len().max(1))
+                        .or_else(|| candidates.get(rng.gen_range(0..candidates.len().max(1))))
+                }
+                None if !candidates.is_empty() => {
+                    candidates.get(rng.gen_range(0..candidates.len()))
+                }
+                None => None,
+            };
+            if let Some(t) = victim {
+                snapshot.remove(t);
+            } else {
+                add_instance(kb, snapshot, target_class, rng);
+            }
+        }
+        let _ = rdf_type;
+    }
+}
+
+/// Mint a fresh instance typed to `class` (or a random class).
+fn add_instance(
+    kb: &mut GeneratedKb,
+    snapshot: &mut TripleStore,
+    class: Option<usize>,
+    rng: &mut StdRng,
+) {
+    let class = class.unwrap_or_else(|| rng.gen_range(0..kb.classes.len()));
+    let ix = kb.instances.len();
+    let id = kb
+        .store
+        .intern_iri(format!("http://evorec.example/inst/i{ix}"));
+    let rdf_type = kb.store.vocab().rdf_type;
+    snapshot.insert(Triple::new(id, rdf_type, kb.classes[class]));
+    kb.instances.push(id);
+    kb.instance_class.push(class);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_gen::SchemaConfig;
+    use evorec_measures::{ClassChangeCount, EvolutionContext, EvolutionMeasure};
+
+    fn kb() -> GeneratedKb {
+        GeneratedKb::generate(SchemaConfig {
+            classes: 40,
+            properties: 10,
+            instances: 200,
+            instance_zipf: 0.8,
+            links_per_instance: 1.5,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn uniform_churn_changes_things() {
+        let mut kb = kb();
+        let outcome = kb.evolve(&Scenario::UniformChurn { rate: 0.1 }, 1);
+        assert!(outcome.added + outcome.removed > 0);
+        assert!(outcome.focus_classes.is_empty());
+        assert_eq!(kb.store.version_count(), 2);
+    }
+
+    #[test]
+    fn hotspot_concentrates_changes_on_focus() {
+        let mut kb = kb();
+        let outcome = kb.evolve(
+            &Scenario::Hotspot {
+                focus_classes: 2,
+                rate: 0.2,
+                concentration: 0.95,
+            },
+            2,
+        );
+        assert_eq!(outcome.focus_classes.len(), 2);
+        // The planted hotspot must out-score the median class under the
+        // direct change-count measure.
+        let ctx = EvolutionContext::build(&kb.store, kb.base_version, outcome.version);
+        let report = ClassChangeCount.compute(&ctx);
+        let focus_best = outcome
+            .focus_classes
+            .iter()
+            .filter_map(|&c| report.rank_of(c))
+            .min()
+            .expect("focus classes are ranked");
+        assert!(
+            focus_best < kb.classes.len() / 4,
+            "hotspot rank {focus_best} should sit in the top quartile"
+        );
+    }
+
+    #[test]
+    fn growth_only_adds() {
+        let mut kb = kb();
+        let outcome = kb.evolve(&Scenario::Growth { rate: 0.2 }, 3);
+        assert!(outcome.added >= (200.0_f64 * 0.2).ceil() as usize);
+        assert_eq!(outcome.removed, 0);
+    }
+
+    #[test]
+    fn drift_moves_typings_between_subtrees() {
+        let mut kb = kb();
+        let outcome = kb.evolve(&Scenario::Drift { rate: 0.5 }, 4);
+        assert_eq!(outcome.focus_classes.len(), 2);
+        assert!(outcome.added > 0, "sink gains typings");
+        assert!(outcome.removed > 0, "source loses typings");
+    }
+
+    #[test]
+    fn refactor_touches_few_triples() {
+        let mut kb = kb();
+        let outcome = kb.evolve(&Scenario::SchemaRefactor { moves: 3 }, 5);
+        assert!(outcome.added <= 3 && outcome.removed <= 3);
+        assert!(!outcome.focus_classes.is_empty());
+    }
+
+    #[test]
+    fn count_vs_impact_plants_the_contrast() {
+        let mut kb = kb();
+        let outcome = kb.evolve(&Scenario::CountVsImpact { spam_instances: 50 }, 6);
+        let (hub, leaf) = outcome.contrast.expect("contrast ground truth");
+        assert_ne!(hub, leaf);
+        // The leaf dominates raw counting…
+        let ctx = EvolutionContext::build(&kb.store, kb.base_version, outcome.version);
+        let counting = ClassChangeCount.compute(&ctx);
+        assert!(
+            counting.rank_of(leaf).unwrap() < counting.rank_of(hub).unwrap(),
+            "leaf spam must dominate the counting measure"
+        );
+    }
+
+    #[test]
+    fn evolution_is_deterministic_per_seed() {
+        let mut a = kb();
+        let mut b = kb();
+        let oa = a.evolve(&Scenario::UniformChurn { rate: 0.1 }, 9);
+        let ob = b.evolve(&Scenario::UniformChurn { rate: 0.1 }, 9);
+        assert_eq!(
+            a.store.snapshot(oa.version),
+            b.store.snapshot(ob.version)
+        );
+    }
+
+    #[test]
+    fn ground_truth_tree_stays_consistent_after_refactor() {
+        let mut kb = kb();
+        kb.evolve(&Scenario::SchemaRefactor { moves: 5 }, 10);
+        // Parent pointers must match the subclass triples in the head.
+        let head = kb.store.head().unwrap();
+        let vocab = *kb.store.vocab();
+        let snapshot = kb.store.snapshot(head);
+        for (ix, &parent) in kb.class_parent.iter().enumerate() {
+            if let Some(p) = parent {
+                assert!(
+                    snapshot.contains(&Triple::new(
+                        kb.classes[ix],
+                        vocab.rdfs_subclassof,
+                        kb.classes[p]
+                    )),
+                    "tree/snapshot divergence at class {ix}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chained_evolutions_accumulate_versions() {
+        let mut kb = kb();
+        kb.evolve(&Scenario::Growth { rate: 0.1 }, 1);
+        kb.evolve(&Scenario::UniformChurn { rate: 0.05 }, 2);
+        kb.evolve(&Scenario::SchemaRefactor { moves: 1 }, 3);
+        assert_eq!(kb.store.version_count(), 4);
+    }
+}

@@ -1,0 +1,242 @@
+//! Named end-to-end workloads.
+//!
+//! Each workload bundles a generated knowledge base, an evolution
+//! history, and a user population into the configurations the
+//! experiments and examples consume. The four presets mirror the data
+//! sources the paper's introduction motivates: curated knowledge bases,
+//! social feeds, road-sensor streams, and (sensitive) clinical records.
+
+use crate::evolution_gen::{Scenario, ScenarioOutcome};
+use crate::profile_gen::{
+    generate_feeds, generate_population, Population, PopulationConfig,
+};
+use crate::schema_gen::{GeneratedKb, SchemaConfig};
+use evorec_core::UserFeed;
+use evorec_versioning::VersionId;
+
+/// A ready-to-run experimental world.
+pub struct Workload {
+    /// Workload name (for report tables).
+    pub name: &'static str,
+    /// The generated, evolved knowledge base.
+    pub kb: GeneratedKb,
+    /// Evolution steps applied, oldest first.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// The user population.
+    pub population: Population,
+    /// Private per-user change feeds (clinical workload only; empty
+    /// otherwise).
+    pub feeds: Vec<UserFeed>,
+}
+
+impl Workload {
+    /// The base version (V0).
+    pub fn base(&self) -> VersionId {
+        self.kb.base_version
+    }
+
+    /// The most recent version.
+    pub fn head(&self) -> VersionId {
+        self.kb.store.head().expect("workloads commit versions")
+    }
+
+    /// Scale factor: approximate class count of the workload.
+    pub fn classes(&self) -> usize {
+        self.kb.classes.len()
+    }
+}
+
+/// A curated knowledge base (DBpedia-style): moderate hierarchy, mixed
+/// uniform churn plus a planted hotspot, curator-style users.
+pub fn curated_kb(classes: usize, seed: u64) -> Workload {
+    let mut kb = GeneratedKb::generate(SchemaConfig {
+        classes,
+        properties: (classes / 5).max(2),
+        instances: classes * 5,
+        instance_zipf: 1.0,
+        links_per_instance: 2.0,
+        seed,
+    });
+    let outcomes = vec![
+        kb.evolve(&Scenario::UniformChurn { rate: 0.05 }, seed ^ 1),
+        kb.evolve(
+            &Scenario::Hotspot {
+                focus_classes: 3,
+                rate: 0.15,
+                concentration: 0.9,
+            },
+            seed ^ 2,
+        ),
+    ];
+    let population = generate_population(
+        &kb,
+        PopulationConfig {
+            users: 16,
+            seed: seed ^ 3,
+            ..Default::default()
+        },
+    );
+    Workload {
+        name: "curated-kb",
+        kb,
+        outcomes,
+        population,
+        feeds: Vec::new(),
+    }
+}
+
+/// A social-feed world: rapid growth plus drift between communities,
+/// many users with strongly skewed topics.
+pub fn social_feed(classes: usize, seed: u64) -> Workload {
+    let mut kb = GeneratedKb::generate(SchemaConfig {
+        classes,
+        properties: (classes / 4).max(2),
+        instances: classes * 8,
+        instance_zipf: 1.3,
+        links_per_instance: 3.0,
+        seed,
+    });
+    let outcomes = vec![
+        kb.evolve(&Scenario::Growth { rate: 0.25 }, seed ^ 1),
+        kb.evolve(&Scenario::Drift { rate: 0.3 }, seed ^ 2),
+    ];
+    let population = generate_population(
+        &kb,
+        PopulationConfig {
+            users: 32,
+            topic_zipf: 1.4,
+            seed: seed ^ 3,
+            ..Default::default()
+        },
+    );
+    Workload {
+        name: "social-feed",
+        kb,
+        outcomes,
+        population,
+        feeds: Vec::new(),
+    }
+}
+
+/// A road-sensor stream: flat-ish schema, heavy uniform churn (sensors
+/// come and go), plus a schema refactor when the road network is
+/// re-modelled.
+pub fn sensor_stream(classes: usize, seed: u64) -> Workload {
+    let mut kb = GeneratedKb::generate(SchemaConfig {
+        classes,
+        properties: (classes / 6).max(1),
+        instances: classes * 10,
+        instance_zipf: 0.5,
+        links_per_instance: 1.0,
+        seed,
+    });
+    let outcomes = vec![
+        kb.evolve(&Scenario::UniformChurn { rate: 0.3 }, seed ^ 1),
+        kb.evolve(&Scenario::SchemaRefactor { moves: classes / 10 + 1 }, seed ^ 2),
+    ];
+    let population = generate_population(
+        &kb,
+        PopulationConfig {
+            users: 8,
+            topic_zipf: 0.5,
+            seed: seed ^ 3,
+            ..Default::default()
+        },
+    );
+    Workload {
+        name: "sensor-stream",
+        kb,
+        outcomes,
+        population,
+        feeds: Vec::new(),
+    }
+}
+
+/// The clinical-records scenario of §III(e): a condition hierarchy,
+/// hotspot churn, an entirely sensitive population, and private per-user
+/// change feeds for the anonymiser.
+pub fn clinical(classes: usize, seed: u64) -> Workload {
+    let mut kb = GeneratedKb::generate(SchemaConfig {
+        classes,
+        properties: (classes / 8).max(1),
+        instances: classes * 6,
+        instance_zipf: 1.1,
+        links_per_instance: 1.5,
+        seed,
+    });
+    let outcomes = vec![kb.evolve(
+        &Scenario::Hotspot {
+            focus_classes: 2,
+            rate: 0.2,
+            concentration: 0.8,
+        },
+        seed ^ 1,
+    )];
+    let population = generate_population(
+        &kb,
+        PopulationConfig {
+            users: 48,
+            topic_zipf: 1.0,
+            sensitive_fraction: 1.0,
+            seed: seed ^ 3,
+            ..Default::default()
+        },
+    );
+    let feeds = generate_feeds(&kb, &population, 6, seed ^ 4);
+    Workload {
+        name: "clinical",
+        kb,
+        outcomes,
+        population,
+        feeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curated_kb_builds_two_steps() {
+        let w = curated_kb(60, 1);
+        assert_eq!(w.name, "curated-kb");
+        assert_eq!(w.kb.store.version_count(), 3);
+        assert_eq!(w.outcomes.len(), 2);
+        assert!(w.head() > w.base());
+        assert_eq!(w.classes(), 60);
+        assert!(w.feeds.is_empty());
+    }
+
+    #[test]
+    fn social_feed_grows() {
+        let w = social_feed(40, 2);
+        assert!(w.outcomes[0].added > 0);
+        assert_eq!(w.outcomes[0].removed, 0, "growth never removes");
+        assert_eq!(w.population.profiles.len(), 32);
+    }
+
+    #[test]
+    fn sensor_stream_includes_refactor() {
+        let w = sensor_stream(50, 3);
+        assert_eq!(w.outcomes.len(), 2);
+        assert!(!w.outcomes[1].focus_classes.is_empty(), "refactor lists moves");
+    }
+
+    #[test]
+    fn clinical_population_is_sensitive_with_feeds() {
+        let w = clinical(40, 4);
+        assert!(w.population.profiles.iter().all(|p| p.sensitive));
+        assert_eq!(w.feeds.len(), 48);
+        assert!(w.feeds.iter().all(|f| f.total_mass() > 0.0));
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = curated_kb(30, 9);
+        let b = curated_kb(30, 9);
+        assert_eq!(
+            a.kb.store.snapshot(a.head()),
+            b.kb.store.snapshot(b.head())
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Zipf-distributed sampling.
+//!
+//! Real knowledge bases are heavily skewed: a few classes hold most
+//! instances, a few topics attract most user interest. The workload
+//! generators sample from Zipf(n, s) — rank `r` drawn with probability
+//! proportional to `1/r^s` — via a precomputed cumulative table and
+//! binary search (`rand` 0.8 ships no Zipf distribution).
+
+use rand::Rng;
+
+/// A Zipf(n, s) sampler over ranks `0..n` (rank 0 is the most likely).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s ≥ 0`
+    /// (`s = 0` is uniform; larger is more skewed).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` if the sampler has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // construction requires n > 0
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let needle = rng.gen_range(0.0..total);
+        // First index whose cumulative weight exceeds the needle.
+        match self
+            .cumulative
+            .binary_search_by(|w| w.partial_cmp(&needle).expect("finite weights"))
+        {
+            Ok(ix) => (ix + 1).min(self.cumulative.len() - 1),
+            Err(ix) => ix,
+        }
+    }
+
+    /// Probability of rank `r`.
+    pub fn probability(&self, rank: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let lo = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        (self.cumulative[rank] - lo) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn skew_prefers_low_ranks() {
+        let zipf = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[1] > counts[25]);
+        // Rank 0 should claim a substantial share (analytically ~22%).
+        assert!(counts[0] as f64 / 20_000.0 > 0.15);
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let share = c as f64 / 40_000.0;
+            assert!((share - 0.25).abs() < 0.02, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let zipf = Zipf::new(17, 0.8);
+        let sum: f64 = (0..17).map(|r| zipf.probability(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(zipf.probability(0) > zipf.probability(16));
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let zipf = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let zipf = Zipf::new(20, 1.0);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let sa: Vec<usize> = (0..100).map(|_| zipf.sample(&mut a)).collect();
+        let sb: Vec<usize> = (0..100).map(|_| zipf.sample(&mut b)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

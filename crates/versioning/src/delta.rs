@@ -1,0 +1,243 @@
+//! Low-level deltas: the added / removed triple sets between two versions.
+//!
+//! Implements the δ of ICDE'17 §II(a): for an evolution V1 → V2,
+//! `added` is δ⁺(V1,V2), `removed` is δ⁻(V1,V2), the delta size is
+//! |δ| = |δ⁺| + |δ⁻|, and [`LowLevelDelta::changes_for_term`] is the
+//! per-class/property restriction δ(n).
+
+use evorec_kb::{TermId, Triple, TripleStore};
+
+/// The added/removed triple sets of one evolution step.
+#[derive(Default, Clone, Debug, PartialEq, Eq)]
+pub struct LowLevelDelta {
+    /// Triples present in V2 but not V1 (δ⁺).
+    pub added: TripleStore,
+    /// Triples present in V1 but not V2 (δ⁻).
+    pub removed: TripleStore,
+}
+
+impl LowLevelDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compute the delta between two snapshots (`v1` → `v2`).
+    pub fn compute(v1: &TripleStore, v2: &TripleStore) -> LowLevelDelta {
+        LowLevelDelta {
+            added: v2.difference(v1).collect(),
+            removed: v1.difference(v2).collect(),
+        }
+    }
+
+    /// Build from explicit added/removed collections.
+    pub fn from_parts(
+        added: impl IntoIterator<Item = Triple>,
+        removed: impl IntoIterator<Item = Triple>,
+    ) -> LowLevelDelta {
+        LowLevelDelta {
+            added: added.into_iter().collect(),
+            removed: removed.into_iter().collect(),
+        }
+    }
+
+    /// |δ| = |δ⁺| + |δ⁻|.
+    pub fn size(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// |δ⁺|.
+    pub fn added_count(&self) -> usize {
+        self.added.len()
+    }
+
+    /// |δ⁻|.
+    pub fn removed_count(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// `true` if nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// δ(n): the number of changed triples in which `term` appears
+    /// (in any position, added or removed).
+    pub fn changes_for_term(&self, term: TermId) -> usize {
+        self.added.mention_count(term) + self.removed.mention_count(term)
+    }
+
+    /// The changed triples mentioning `term`, tagged with whether each was
+    /// added (`true`) or removed (`false`).
+    pub fn triples_for_term(&self, term: TermId) -> Vec<(Triple, bool)> {
+        let mut out: Vec<(Triple, bool)> = self
+            .added
+            .mentioning(term)
+            .into_iter()
+            .map(|t| (t, true))
+            .chain(self.removed.mentioning(term).into_iter().map(|t| (t, false)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Apply this delta to `base`, producing the successor snapshot.
+    ///
+    /// Removals are applied before additions so a triple present in both
+    /// sets ends up present (matching set semantics of `compute`, which
+    /// never produces overlapping sets).
+    pub fn apply(&self, base: &TripleStore) -> TripleStore {
+        let mut next = base.clone();
+        for t in self.removed.iter() {
+            next.remove(&t);
+        }
+        next.extend(self.added.iter());
+        next
+    }
+
+    /// The inverse delta (swapped added/removed): applying `d.invert()`
+    /// after `d` restores the original snapshot.
+    pub fn invert(&self) -> LowLevelDelta {
+        LowLevelDelta {
+            added: self.removed.clone(),
+            removed: self.added.clone(),
+        }
+    }
+
+    /// Sequentially compose two deltas: `self` then `later`. The result
+    /// applied to a base equals applying both in order.
+    pub fn compose(&self, later: &LowLevelDelta) -> LowLevelDelta {
+        // added = (self.added \ later.removed) ∪ later.added
+        // removed = (self.removed \ later.added) ∪ later.removed
+        // then normalised so the two sets are disjoint.
+        let mut added: TripleStore = self
+            .added
+            .difference(&later.removed)
+            .chain(later.added.iter())
+            .collect();
+        let mut removed: TripleStore = self
+            .removed
+            .difference(&later.added)
+            .chain(later.removed.iter())
+            .collect();
+        let dup: Vec<Triple> = added.iter().filter(|t| removed.contains(t)).collect();
+        for t in &dup {
+            added.remove(t);
+            removed.remove(t);
+        }
+        LowLevelDelta { added, removed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evorec_kb::TermId;
+
+    fn t(n: u32) -> TermId {
+        TermId::from_u32(n)
+    }
+
+    fn tr(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(t(s), t(p), t(o))
+    }
+
+    fn snapshots() -> (TripleStore, TripleStore) {
+        let v1 = TripleStore::from_triples([tr(1, 10, 2), tr(2, 10, 3), tr(3, 11, 4)]);
+        let v2 = TripleStore::from_triples([tr(1, 10, 2), tr(2, 10, 5), tr(6, 12, 7)]);
+        (v1, v2)
+    }
+
+    #[test]
+    fn compute_splits_added_and_removed() {
+        let (v1, v2) = snapshots();
+        let d = LowLevelDelta::compute(&v1, &v2);
+        assert_eq!(d.added_count(), 2);
+        assert_eq!(d.removed_count(), 2);
+        assert_eq!(d.size(), 4);
+        assert!(d.added.contains(&tr(2, 10, 5)));
+        assert!(d.added.contains(&tr(6, 12, 7)));
+        assert!(d.removed.contains(&tr(2, 10, 3)));
+        assert!(d.removed.contains(&tr(3, 11, 4)));
+    }
+
+    #[test]
+    fn identical_snapshots_give_empty_delta() {
+        let (v1, _) = snapshots();
+        let d = LowLevelDelta::compute(&v1, &v1);
+        assert!(d.is_empty());
+        assert_eq!(d.size(), 0);
+    }
+
+    #[test]
+    fn apply_reconstructs_successor() {
+        let (v1, v2) = snapshots();
+        let d = LowLevelDelta::compute(&v1, &v2);
+        assert_eq!(d.apply(&v1), v2);
+    }
+
+    #[test]
+    fn invert_roundtrips() {
+        let (v1, v2) = snapshots();
+        let d = LowLevelDelta::compute(&v1, &v2);
+        assert_eq!(d.invert().apply(&v2), v1);
+        assert_eq!(d.invert().invert(), d);
+    }
+
+    #[test]
+    fn changes_for_term_counts_mentions_on_both_sides() {
+        let (v1, v2) = snapshots();
+        let d = LowLevelDelta::compute(&v1, &v2);
+        // term 2: removed (2,10,3), added (2,10,5) → 2 changes.
+        assert_eq!(d.changes_for_term(t(2)), 2);
+        // term 10 (predicate): same two triples.
+        assert_eq!(d.changes_for_term(t(10)), 2);
+        // untouched term 1: (1,10,2) unchanged → 0.
+        assert_eq!(d.changes_for_term(t(1)), 0);
+        // term never present.
+        assert_eq!(d.changes_for_term(t(99)), 0);
+    }
+
+    #[test]
+    fn triples_for_term_tags_direction() {
+        let (v1, v2) = snapshots();
+        let d = LowLevelDelta::compute(&v1, &v2);
+        let got = d.triples_for_term(t(2));
+        assert_eq!(got, vec![(tr(2, 10, 3), false), (tr(2, 10, 5), true)]);
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let (v1, v2) = snapshots();
+        let v3 = TripleStore::from_triples([tr(1, 10, 2), tr(6, 12, 7), tr(8, 13, 9)]);
+        let d12 = LowLevelDelta::compute(&v1, &v2);
+        let d23 = LowLevelDelta::compute(&v2, &v3);
+        let composed = d12.compose(&d23);
+        assert_eq!(composed.apply(&v1), v3);
+        // Composition normalises: added/removed are disjoint.
+        for triple in composed.added.iter() {
+            assert!(!composed.removed.contains(&triple));
+        }
+    }
+
+    #[test]
+    fn compose_add_then_remove_nets_to_removal() {
+        // (add t, then remove t) must behave like "ensure t absent": a
+        // no-op on bases without t, a removal on bases with it.
+        let add = LowLevelDelta::from_parts([tr(1, 2, 3)], []);
+        let remove = LowLevelDelta::from_parts([], [tr(1, 2, 3)]);
+        let net = add.compose(&remove);
+        assert!(net.added.is_empty());
+        assert!(net.removed.contains(&tr(1, 2, 3)));
+        let empty = TripleStore::new();
+        assert_eq!(net.apply(&empty), empty);
+        let with_t = TripleStore::from_triples([tr(1, 2, 3)]);
+        assert!(net.apply(&with_t).is_empty());
+    }
+
+    #[test]
+    fn from_parts_collapses_duplicates() {
+        let d = LowLevelDelta::from_parts([tr(1, 2, 3), tr(1, 2, 3)], []);
+        assert_eq!(d.added_count(), 1);
+    }
+}

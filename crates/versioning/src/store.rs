@@ -1,0 +1,288 @@
+//! The versioned knowledge-base store.
+
+use crate::delta::LowLevelDelta;
+use crate::version::{VersionId, VersionInfo};
+use evorec_kb::{FxHashMap, SchemaView, Term, TermId, TermInterner, TripleStore, Vocab};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A linear history of knowledge-base snapshots sharing one interner.
+///
+/// All versions share a single [`TermInterner`], so [`TermId`]s are stable
+/// across the whole history — deltas, schema views, and measure reports
+/// from different version pairs are directly comparable. Pairwise deltas
+/// and per-version schema views are memoised behind [`RwLock`]s
+/// (`parking_lot`) so repeated measure evaluations of the same evolution
+/// step share the work.
+pub struct VersionedStore {
+    interner: TermInterner,
+    vocab: Vocab,
+    versions: Vec<VersionInfo>,
+    snapshots: Vec<TripleStore>,
+    clock: u64,
+    delta_cache: RwLock<FxHashMap<(VersionId, VersionId), Arc<LowLevelDelta>>>,
+    schema_cache: RwLock<FxHashMap<VersionId, Arc<SchemaView>>>,
+}
+
+impl Default for VersionedStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VersionedStore {
+    /// An empty history with the core vocabulary pre-interned.
+    pub fn new() -> VersionedStore {
+        let mut interner = TermInterner::new();
+        let vocab = Vocab::install(&mut interner);
+        VersionedStore {
+            interner,
+            vocab,
+            versions: Vec::new(),
+            snapshots: Vec::new(),
+            clock: 0,
+            delta_cache: RwLock::new(FxHashMap::default()),
+            schema_cache: RwLock::new(FxHashMap::default()),
+        }
+    }
+
+    /// Intern a term into the shared dictionary.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        self.interner.intern(term)
+    }
+
+    /// Intern an IRI into the shared dictionary.
+    pub fn intern_iri(&mut self, iri: impl Into<String>) -> TermId {
+        self.interner.intern_iri(iri)
+    }
+
+    /// The shared interner.
+    pub fn interner(&self) -> &TermInterner {
+        &self.interner
+    }
+
+    /// Mutable access to the shared interner.
+    pub fn interner_mut(&mut self) -> &mut TermInterner {
+        &mut self.interner
+    }
+
+    /// The pre-interned vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Commit a full snapshot as the next version; returns its id.
+    pub fn commit_snapshot(
+        &mut self,
+        label: impl Into<String>,
+        snapshot: TripleStore,
+    ) -> VersionId {
+        let id = VersionId::from_u32(self.versions.len() as u32);
+        self.clock += 1;
+        self.versions.push(VersionInfo {
+            id,
+            label: label.into(),
+            timestamp: self.clock,
+            parent: id.predecessor(),
+            triple_count: snapshot.len(),
+        });
+        self.snapshots.push(snapshot);
+        id
+    }
+
+    /// Commit the next version by applying `delta` to the current head
+    /// (an empty base if the history is empty); returns the new id.
+    pub fn commit_delta(&mut self, label: impl Into<String>, delta: &LowLevelDelta) -> VersionId {
+        let base = match self.head() {
+            Some(head) => self.snapshots[head.index()].clone(),
+            None => TripleStore::new(),
+        };
+        let next = delta.apply(&base);
+        let id = self.commit_snapshot(label, next);
+        // Seed the cache: the delta between head-1 and head is known.
+        if let Some(prev) = id.predecessor() {
+            self.delta_cache
+                .write()
+                .insert((prev, id), Arc::new(delta.clone()));
+        }
+        id
+    }
+
+    /// The most recently committed version.
+    pub fn head(&self) -> Option<VersionId> {
+        self.versions.last().map(|v| v.id)
+    }
+
+    /// All version metadata, oldest first.
+    pub fn versions(&self) -> &[VersionInfo] {
+        &self.versions
+    }
+
+    /// Number of committed versions.
+    pub fn version_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// The snapshot of `version`.
+    ///
+    /// # Panics
+    /// Panics if `version` was not committed to this store.
+    pub fn snapshot(&self, version: VersionId) -> &TripleStore {
+        &self.snapshots[version.index()]
+    }
+
+    /// The snapshot of `version`, or `None` if unknown.
+    pub fn try_snapshot(&self, version: VersionId) -> Option<&TripleStore> {
+        self.snapshots.get(version.index())
+    }
+
+    /// The low-level delta for the evolution `from` → `to` (memoised).
+    ///
+    /// # Panics
+    /// Panics if either version is unknown.
+    pub fn delta(&self, from: VersionId, to: VersionId) -> Arc<LowLevelDelta> {
+        if let Some(hit) = self.delta_cache.read().get(&(from, to)) {
+            return Arc::clone(hit);
+        }
+        let computed = Arc::new(LowLevelDelta::compute(
+            self.snapshot(from),
+            self.snapshot(to),
+        ));
+        self.delta_cache
+            .write()
+            .insert((from, to), Arc::clone(&computed));
+        computed
+    }
+
+    /// The schema view of `version` (memoised).
+    ///
+    /// # Panics
+    /// Panics if `version` is unknown.
+    pub fn schema_view(&self, version: VersionId) -> Arc<SchemaView> {
+        if let Some(hit) = self.schema_cache.read().get(&version) {
+            return Arc::clone(hit);
+        }
+        let computed = Arc::new(SchemaView::extract(self.snapshot(version), &self.vocab));
+        self.schema_cache
+            .write()
+            .insert(version, Arc::clone(&computed));
+        computed
+    }
+
+    /// Total triples across all snapshots (storage accounting).
+    pub fn total_stored_triples(&self) -> usize {
+        self.snapshots.iter().map(TripleStore::len).sum()
+    }
+}
+
+impl std::fmt::Debug for VersionedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedStore")
+            .field("versions", &self.versions.len())
+            .field("terms", &self.interner.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evorec_kb::Triple;
+
+    fn fixture() -> (VersionedStore, TermId, TermId, TermId) {
+        let mut vs = VersionedStore::new();
+        let a = vs.intern_iri("http://x/a");
+        let p = vs.intern_iri("http://x/p");
+        let b = vs.intern_iri("http://x/b");
+        (vs, a, p, b)
+    }
+
+    #[test]
+    fn commit_snapshot_assigns_dense_ids() {
+        let (mut vs, a, p, b) = fixture();
+        let v0 = vs.commit_snapshot("empty", TripleStore::new());
+        let v1 = vs.commit_snapshot("one", TripleStore::from_triples([Triple::new(a, p, b)]));
+        assert_eq!(v0.index(), 0);
+        assert_eq!(v1.index(), 1);
+        assert_eq!(vs.head(), Some(v1));
+        assert_eq!(vs.version_count(), 2);
+        assert_eq!(vs.versions()[1].parent, Some(v0));
+        assert_eq!(vs.versions()[1].triple_count, 1);
+        assert!(vs.versions()[0].timestamp < vs.versions()[1].timestamp);
+    }
+
+    #[test]
+    fn commit_delta_applies_to_head() {
+        let (mut vs, a, p, b) = fixture();
+        vs.commit_snapshot("empty", TripleStore::new());
+        let d = LowLevelDelta::from_parts([Triple::new(a, p, b)], []);
+        let v1 = vs.commit_delta("add one", &d);
+        assert_eq!(vs.snapshot(v1).len(), 1);
+        assert!(vs.snapshot(v1).contains(&Triple::new(a, p, b)));
+    }
+
+    #[test]
+    fn commit_delta_on_empty_history_starts_from_nothing() {
+        let (mut vs, a, p, b) = fixture();
+        let d = LowLevelDelta::from_parts([Triple::new(a, p, b)], []);
+        let v0 = vs.commit_delta("genesis", &d);
+        assert_eq!(v0.index(), 0);
+        assert_eq!(vs.snapshot(v0).len(), 1);
+    }
+
+    #[test]
+    fn delta_is_memoised_and_correct() {
+        let (mut vs, a, p, b) = fixture();
+        let v0 = vs.commit_snapshot("empty", TripleStore::new());
+        let v1 = vs.commit_snapshot("one", TripleStore::from_triples([Triple::new(a, p, b)]));
+        let d1 = vs.delta(v0, v1);
+        let d2 = vs.delta(v0, v1);
+        assert!(Arc::ptr_eq(&d1, &d2), "second call must hit the cache");
+        assert_eq!(d1.added_count(), 1);
+        assert_eq!(d1.removed_count(), 0);
+        // Reverse direction computed independently.
+        let back = vs.delta(v1, v0);
+        assert_eq!(back.removed_count(), 1);
+    }
+
+    #[test]
+    fn commit_delta_seeds_cache() {
+        let (mut vs, a, p, b) = fixture();
+        let v0 = vs.commit_snapshot("empty", TripleStore::new());
+        let d = LowLevelDelta::from_parts([Triple::new(a, p, b)], []);
+        let v1 = vs.commit_delta("add", &d);
+        let cached = vs.delta(v0, v1);
+        assert_eq!(cached.as_ref(), &d);
+    }
+
+    #[test]
+    fn schema_view_is_memoised() {
+        let (mut vs, a, _p, b) = fixture();
+        let vocab = *vs.vocab();
+        let mut snap = TripleStore::new();
+        snap.insert(Triple::new(a, vocab.rdfs_subclassof, b));
+        let v0 = vs.commit_snapshot("schema", snap);
+        let s1 = vs.schema_view(v0);
+        let s2 = vs.schema_view(v0);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert!(s1.is_class(a));
+        assert!(s1.is_class(b));
+    }
+
+    #[test]
+    fn try_snapshot_handles_unknown() {
+        let (vs, ..) = fixture();
+        assert!(vs.try_snapshot(VersionId::from_u32(0)).is_none());
+    }
+
+    #[test]
+    fn total_stored_triples_sums_snapshots() {
+        let (mut vs, a, p, b) = fixture();
+        vs.commit_snapshot("one", TripleStore::from_triples([Triple::new(a, p, b)]));
+        vs.commit_snapshot(
+            "two",
+            TripleStore::from_triples([Triple::new(a, p, b), Triple::new(b, p, a)]),
+        );
+        assert_eq!(vs.total_stored_triples(), 3);
+    }
+}

@@ -1,0 +1,76 @@
+//! Group recommendation with fairness diagnostics (§III(d)).
+//!
+//! A heterogeneous curators' team — every member cares about a different
+//! region — receives one shared recommendation package under each
+//! aggregation strategy; the fairness report shows why "average" starves
+//! minority members and how the fair-proportional greedy repairs it.
+//!
+//! Run with: `cargo run --example group_recommendation`
+
+use evorec::core::{GroupAggregation, Recommender, RecommenderConfig, UserId, UserProfile};
+use evorec::measures::{EvolutionContext, MeasureRegistry};
+use evorec::synth::workload::social_feed;
+
+fn main() {
+    let world = social_feed(80, 21);
+    let store = &world.kb.store;
+    let ctx = EvolutionContext::build(store, world.base(), world.head());
+
+    // A deliberately heterogeneous team: three members, three regions.
+    // Two share a broad area; the third watches a different subtree.
+    let kids = world.kb.children_of(0);
+    let (left, right) = (kids[0], *kids.last().unwrap());
+    let left_sub = world.kb.subtree_of(left);
+    let right_sub = world.kb.subtree_of(right);
+    let team = vec![
+        UserProfile::new(UserId(1), "ana")
+            .with_interest(world.kb.classes[left], 1.0)
+            .with_interest(world.kb.classes[left_sub[left_sub.len() / 2]], 0.6),
+        UserProfile::new(UserId(2), "ben")
+            .with_interest(world.kb.classes[left_sub[left_sub.len() - 1]], 1.0),
+        UserProfile::new(UserId(3), "mia")
+            .with_interest(world.kb.classes[right], 1.0)
+            .with_interest(world.kb.classes[right_sub[right_sub.len() - 1]], 0.5),
+    ];
+    println!("team of {} over '{}' ({} classes)\n", team.len(), world.name, world.classes());
+
+    println!(
+        "{:18} {:>8} {:>8} {:>7} {:>7}  package",
+        "strategy", "min-sat", "mean-sat", "jain", "envy"
+    );
+    for strategy in GroupAggregation::ALL {
+        let config = RecommenderConfig {
+            top_k: 4,
+            group_aggregation: strategy,
+            ..Default::default()
+        };
+        let recommender = Recommender::new(MeasureRegistry::standard(), config);
+        let rec = recommender.recommend_for_group(&ctx, &team);
+        let package: Vec<String> = rec
+            .items
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}@{}",
+                    s.item.measure.as_str().split('-').next().unwrap_or("?"),
+                    store.interner().label(s.item.focus)
+                )
+            })
+            .collect();
+        println!(
+            "{:18} {:>8.3} {:>8.3} {:>7.3} {:>7.3}  {}",
+            strategy.label(),
+            rec.fairness.min_satisfaction,
+            rec.fairness.mean_satisfaction,
+            rec.fairness.jain_index,
+            rec.fairness.envy,
+            package.join(", ")
+        );
+    }
+
+    println!(
+        "\nReading: 'average' maximises the mean but can leave one member\n\
+         with nothing (§III(d)'s least-satisfied human u); 'fair-proportional'\n\
+         trades a little mean satisfaction for a materially better minimum."
+    );
+}

@@ -1,0 +1,63 @@
+//! k-anonymous change overviews over sensitive feeds (§III(e)).
+//!
+//! The clinical workload: every user's change feed is sensitive, so the
+//! published evolution overview must be k-anonymous. Sweeps k and prints
+//! the privacy/utility trade-off, then shows the disclosed cells at one
+//! operating point.
+//!
+//! Run with: `cargo run --example privacy_feed`
+
+use evorec::core::anonymity::anonymise;
+use evorec::synth::workload::clinical;
+
+fn main() {
+    let world = clinical(60, 33);
+    let store = &world.kb.store;
+    let parents = world.kb.parent_terms();
+
+    println!(
+        "clinical workload: {} users, all sensitive, {} feed entries total\n",
+        world.feeds.len(),
+        world
+            .feeds
+            .iter()
+            .map(|f| f.mass_per_class.len())
+            .sum::<usize>()
+    );
+
+    println!(
+        "{:>4} {:>9} {:>12} {:>10} {:>10} {:>7}",
+        "k", "utility", "suppressed", "cells", "max-depth", "mean-d"
+    );
+    for k in [2, 4, 8, 16, 32] {
+        let report = anonymise(&world.feeds, &parents, k);
+        println!(
+            "{:>4} {:>8.1}% {:>11.1}% {:>10} {:>10} {:>7.2}",
+            k,
+            report.utility() * 100.0,
+            report.suppression_rate() * 100.0,
+            report.cells.len(),
+            report.max_depth(),
+            report.mean_depth()
+        );
+        // The k-anonymity guarantee, checked live:
+        assert!(report.cells.iter().all(|c| c.contributors >= k));
+    }
+
+    let k = 4;
+    let report = anonymise(&world.feeds, &parents, k);
+    println!("\ndisclosed overview at k = {k} (top 10 cells by mass):");
+    for cell in report.cells.iter().take(10) {
+        println!(
+            "  {:24} mass {:>6.1}  backed by {:>2} users  rolled up {} level(s)",
+            store.interner().label(cell.class),
+            cell.mass,
+            cell.contributors,
+            cell.generalisation_depth
+        );
+    }
+    println!(
+        "\nEvery disclosed cell aggregates >= {k} users; under-populated\n\
+         cells were generalised up the condition hierarchy or suppressed."
+    );
+}

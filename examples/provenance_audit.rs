@@ -1,0 +1,129 @@
+//! Provenance audit and archiving policies (§III(b) + reference [13]).
+//!
+//! Builds a multi-actor commit history with a provenance ledger, answers
+//! the paper's transparency questions ("who created this data item and
+//! when, by whom was it modified"), and compares archiving policies for
+//! storing the resulting version history.
+//!
+//! Run with: `cargo run --example provenance_audit`
+
+use evorec::synth::{GeneratedKb, Scenario, SchemaConfig};
+use evorec::versioning::{Archive, ArchivePolicy, Justification, ProvenanceLedger};
+
+fn main() {
+    let mut kb = GeneratedKb::generate(SchemaConfig {
+        classes: 50,
+        properties: 10,
+        instances: 250,
+        instance_zipf: 1.0,
+        links_per_instance: 2.0,
+        seed: 13,
+    });
+
+    // A curation campaign: four commits by three actors.
+    let steps: [(&str, &str, Scenario, Justification); 4] = [
+        (
+            "pipeline-bot",
+            "import",
+            Scenario::Growth { rate: 0.2 },
+            Justification::BeliefAdoption,
+        ),
+        (
+            "dr-flores",
+            "curation",
+            Scenario::Hotspot {
+                focus_classes: 2,
+                rate: 0.1,
+                concentration: 0.9,
+            },
+            Justification::Observation,
+        ),
+        (
+            "dr-flores",
+            "refactor",
+            Scenario::SchemaRefactor { moves: 3 },
+            Justification::Inference,
+        ),
+        (
+            "qa-team",
+            "cleanup",
+            Scenario::UniformChurn { rate: 0.05 },
+            Justification::Inference,
+        ),
+    ];
+
+    let mut ledger = ProvenanceLedger::new();
+    for (ix, (actor, activity, scenario, justification)) in steps.into_iter().enumerate() {
+        let parent = kb.store.head();
+        let outcome = kb.evolve(&scenario, 100 + ix as u64);
+        let delta = kb.store.delta(parent.unwrap(), outcome.version);
+        ledger.record_commit(
+            actor,
+            activity,
+            parent,
+            outcome.version,
+            &delta,
+            justification,
+            format!("step {ix}"),
+        );
+    }
+
+    println!("=== commit log ===");
+    for r in ledger.records() {
+        println!(
+            "t{:<3} {:12} {:10} -> {}  (+{} / -{})  [{}]",
+            r.timestamp,
+            r.actor,
+            r.activity,
+            r.generated_version,
+            r.added_count,
+            r.removed_count,
+            r.justification
+        );
+    }
+
+    // Transparency queries.
+    let hot_class = kb.classes[1];
+    println!(
+        "\nwho touched {}?",
+        kb.store.interner().label(hot_class)
+    );
+    for r in ledger.history_of_term(hot_class) {
+        println!("  t{} by {} during {}", r.timestamp, r.actor, r.activity);
+    }
+    if let Some(last) = ledger.last_touch(hot_class) {
+        println!("  last touch: {} at t{}", last.actor, last.timestamp);
+    }
+    let hist = ledger.justification_histogram();
+    println!("\njustification mix: {hist:?}");
+    println!("ledger overhead: ~{} bytes", ledger.approx_bytes());
+
+    // Archiving-policy comparison over the same history.
+    println!("\n=== archiving policies (reference [13]) ===");
+    println!(
+        "{:12} {:>14} {:>10} {:>8} {:>12}",
+        "policy", "stored triples", "snapshots", "deltas", "mean-replay"
+    );
+    for policy in [
+        ArchivePolicy::FullSnapshots,
+        ArchivePolicy::DeltaChain,
+        ArchivePolicy::Hybrid { full_every: 2 },
+    ] {
+        let archive = Archive::build(&kb.store, policy);
+        let stats = archive.stats();
+        println!(
+            "{:12} {:>14} {:>10} {:>8} {:>12.2}",
+            stats.policy_name,
+            stats.total_stored_triples(),
+            stats.snapshots,
+            stats.deltas,
+            stats.mean_reconstruction_steps
+        );
+        // Correctness: every policy reconstructs every version exactly.
+        for v in kb.store.versions() {
+            let (got, _) = archive.materialize(v.id).unwrap();
+            assert_eq!(&got, kb.store.snapshot(v.id));
+        }
+    }
+    println!("\n(all policies verified to reconstruct every version exactly)");
+}

@@ -33,12 +33,12 @@ pub fn betweenness_parallel(g: &SchemaGraph, threads: usize) -> Vec<f64> {
         return betweenness(g);
     }
     let chunk = n.div_ceil(threads);
-    let partials: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<Vec<f64>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for worker in 0..threads {
             let lo = worker * chunk;
             let hi = ((worker + 1) * chunk).min(n);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut scores = vec![0.0; n];
                 let mut workspace = Workspace::new(n);
                 for s in lo..hi {
@@ -47,9 +47,11 @@ pub fn betweenness_parallel(g: &SchemaGraph, threads: usize) -> Vec<f64> {
                 scores
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("crossbeam scope panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut scores = vec![0.0; n];
     for partial in partials {

@@ -8,8 +8,8 @@
 //! - [`bfs_distances`] / [`k_hop_neighbourhood`] — traversal primitives
 //!   behind the neighbourhood measures of §II(b);
 //! - [`betweenness`] / [`betweenness_parallel`] — exact Brandes
-//!   betweenness (the §II(c) Betweenness measure), with a
-//!   crossbeam-parallel source partitioning;
+//!   betweenness (the §II(c) Betweenness measure), with source
+//!   partitioning across scoped threads;
 //! - [`bridging_centrality`] — Hwang-style bridging centrality
 //!   (the §II(c) Bridging Centrality measure);
 //! - [`personalised_pagerank`] — spreading activation for the

@@ -1,0 +1,185 @@
+//! Offline shim for `bytes`.
+//!
+//! `Vec<u8>`-backed [`Bytes`]/[`BytesMut`] plus the subset of the
+//! [`Buf`]/[`BufMut`] traits the delta wire codec uses. `Bytes` is
+//! cheaply clonable via `Arc`, mirroring the real crate's sharing
+//! semantics (without the slice views the workspace doesn't need).
+
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable, cheaply clonable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<Vec<u8>>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.as_ref().clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::new(v))
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(capacity))
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Drop the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(Arc::new(self.0))
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Read cursor over a byte source (implemented for `&[u8]`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skip `n` bytes. Panics if fewer than `n` remain.
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte. Panics if empty.
+    fn get_u8(&mut self) -> u8;
+
+    /// `true` while at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let byte = self[0];
+        *self = &self[1..];
+        byte
+    }
+}
+
+/// Write sink for bytes (implemented for [`BytesMut`]).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, byte: u8);
+
+    /// Append a slice.
+    fn put_slice(&mut self, slice: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, byte: u8) {
+        self.0.push(byte);
+    }
+
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.0.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_freeze() {
+        let mut buf = BytesMut::with_capacity(4);
+        buf.put_slice(b"ab");
+        buf.put_u8(b'c');
+        assert_eq!(&buf[..], b"abc");
+        let frozen = buf.freeze();
+        assert_eq!(frozen.to_vec(), b"abc".to_vec());
+        let cheap = frozen.clone();
+        assert_eq!(&cheap[..1], b"a");
+    }
+
+    #[test]
+    fn slice_buf_cursor() {
+        let mut slice: &[u8] = b"xyz";
+        assert_eq!(slice.remaining(), 3);
+        assert_eq!(slice.get_u8(), b'x');
+        slice.advance(1);
+        assert!(slice.has_remaining());
+        assert_eq!(slice.get_u8(), b'z');
+        assert!(!slice.has_remaining());
+    }
+}

@@ -1,0 +1,213 @@
+//! The [`Strategy`] trait and the built-in strategies the tests use.
+
+use crate::test_runner::TestRng;
+use crate::Arbitrary;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree: generation is a single
+/// draw and failures are not shrunk.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            inner: self,
+            map,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// See [`crate::any`].
+#[derive(Clone, Debug)]
+pub struct AnyStrategy<T>(pub(crate) PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as u128 + draw) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u128) - (start as u128) + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (start as u128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.uniform_f64(self.start, self.end)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.uniform_f64_inclusive(*self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident / $ix:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$ix.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+}
+
+/// String-literal regex strategies of the shape `[class]{n}` or
+/// `[class]{m,n}`, the only forms the tests use. Character classes
+/// support ranges (`a-z`), literal characters, and a literal trailing
+/// `-` before `]`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_repeat(self);
+        let len = if lo == hi {
+            lo
+        } else {
+            rng.below(lo, hi + 1)
+        };
+        (0..len)
+            .map(|_| alphabet[rng.below(0, alphabet.len())])
+            .collect()
+    }
+}
+
+fn parse_class_repeat(pattern: &str) -> (Vec<char>, usize, usize) {
+    let inner = pattern
+        .strip_prefix('[')
+        .unwrap_or_else(|| panic!("unsupported regex strategy {pattern:?}: expected `[class]{{…}}`"));
+    let (class, repeat) = inner
+        .split_once(']')
+        .unwrap_or_else(|| panic!("unsupported regex strategy {pattern:?}: unterminated class"));
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut ix = 0;
+    while ix < chars.len() {
+        if ix + 2 < chars.len() && chars[ix + 1] == '-' {
+            let (lo, hi) = (chars[ix], chars[ix + 2]);
+            assert!(lo <= hi, "descending range in class {pattern:?}");
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            ix += 3;
+        } else {
+            alphabet.push(chars[ix]);
+            ix += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class {pattern:?}");
+
+    let counts = repeat
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in {pattern:?}: expected `{{n}}` or `{{m,n}}`"));
+    let (lo, hi) = match counts.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse().expect("numeric repetition lower bound"),
+            hi.parse().expect("numeric repetition upper bound"),
+        ),
+        None => {
+            let n = counts.parse().expect("numeric repetition count");
+            (n, n)
+        }
+    };
+    assert!(lo <= hi, "descending repetition in {pattern:?}");
+    (alphabet, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_parsing_handles_ranges_and_literals() {
+        let (alpha, lo, hi) = parse_class_repeat("[a-c_.-]{1,3}");
+        assert_eq!(alpha, vec!['a', 'b', 'c', '_', '.', '-']);
+        assert_eq!((lo, hi), (1, 3));
+        let (alpha, lo, hi) = parse_class_repeat("[ -~]{0,40}");
+        assert_eq!(alpha.len(), (b'~' - b' ') as usize + 1);
+        assert_eq!((lo, hi), (0, 40));
+        let (_, lo, hi) = parse_class_repeat("[a-z]{2}");
+        assert_eq!((lo, hi), (2, 2));
+    }
+
+    #[test]
+    fn string_strategy_respects_bounds() {
+        let mut rng = TestRng::for_test("string_strategy_respects_bounds");
+        for _ in 0..200 {
+            let s = "[a-z]{2}".generate(&mut rng);
+            assert_eq!(s.len(), 2);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[0-9]{0,5}".generate(&mut rng);
+            assert!(t.len() <= 5);
+        }
+    }
+}

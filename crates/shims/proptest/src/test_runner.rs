@@ -1,0 +1,89 @@
+//! Deterministic RNG and case bookkeeping for the [`proptest!`] runner.
+//!
+//! [`proptest!`]: crate::proptest!
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default cases per property (override with `PROPTEST_CASES`).
+const DEFAULT_CASES: u32 = 64;
+
+/// Number of cases each property runs.
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// Deterministic generator seeded from the test's name, so every
+/// property explores its own stream and failures reproduce exactly.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seed from `test_name` (FNV-1a over the bytes).
+    pub fn for_test(test_name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn below(&mut self, lo: usize, hi: usize) -> usize {
+        self.0.gen_range(lo..hi)
+    }
+
+    /// Uniform draw in `[lo, hi)` for `f64`.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.0.gen_range(lo..hi)
+    }
+
+    /// Uniform draw in `[lo, hi]` for `f64`.
+    pub fn uniform_f64_inclusive(&mut self, lo: f64, hi: f64) -> f64 {
+        self.0.gen_range(lo..=hi)
+    }
+}
+
+/// Prints which case was executing if the property body panics, since
+/// this shim does not shrink counterexamples.
+pub struct CasePanicContext {
+    test_name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CasePanicContext {
+    /// Arm the context for one case.
+    pub fn new(test_name: &'static str, case: u32) -> CasePanicContext {
+        CasePanicContext {
+            test_name,
+            case,
+            armed: true,
+        }
+    }
+
+    /// The case finished; do not report on drop.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CasePanicContext {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest shim: `{}` failed at case {} (deterministic; rerun reproduces it)",
+                self.test_name, self.case
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! This build must succeed with no network access, so the workspace
+//! vendors a minimal stand-in: the `Serialize`/`Deserialize` *derive
+//! macros* (no-ops from [`serde_derive`]) plus marker traits of the same
+//! names so `use serde::{Serialize, Deserialize}` imports both the macro
+//! and a nameable trait. No code in the tree currently requires a
+//! `T: Serialize` bound, so the traits carry no methods.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (method-free in this shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (method-free in this shim).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,23 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` — nothing
+//! serialises at runtime yet (no `serde_json` in the tree) — so these
+//! derive macros expand to nothing. They still register the `#[serde(...)]`
+//! helper attribute so field annotations like `#[serde(skip)]` parse.
+//!
+//! Swapping in the real `serde`/`serde_derive` later requires only the
+//! `[workspace.dependencies]` entry to change.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

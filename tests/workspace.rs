@@ -1,0 +1,47 @@
+//! Workspace wiring smoke test.
+//!
+//! Exercises the facade re-exports end-to-end so a future manifest
+//! regression (a dropped member, a renamed crate, a broken re-export)
+//! fails loudly here rather than deep inside an unrelated suite.
+
+use evorec::core::{Recommender, UserId, UserProfile};
+use evorec::measures::{EvolutionContext, MeasureRegistry};
+use evorec::synth::workload::curated_kb;
+
+#[test]
+fn facade_reexports_are_constructible() {
+    // evorec::synth — the synthetic workload factory.
+    let world = curated_kb(40, 7);
+
+    // evorec::kb + evorec::versioning — the store behind the workload.
+    let store = &world.kb.store;
+    assert!(store.head().is_some(), "curated KB must have a head version");
+
+    // evorec::measures — context + registry.
+    let ctx = EvolutionContext::build(store, world.base(), world.head());
+    let registry = MeasureRegistry::standard();
+    assert!(!registry.all().is_empty(), "standard registry must be populated");
+
+    // evorec::core — the recommender itself.
+    let curator = UserProfile::new(UserId(0), "smoke").with_interest(
+        world.outcomes[1].focus_classes[0],
+        1.0,
+    );
+    let recommender = Recommender::with_defaults(registry);
+    let recommendation = recommender.recommend(&ctx, &curator);
+    assert!(
+        !recommendation.items.is_empty(),
+        "recommender must produce items for an interested curator"
+    );
+}
+
+#[test]
+fn facade_modules_reach_every_crate() {
+    // One cheap, type-level touch per re-exported crate.
+    let _kb: evorec::kb::TripleStore = evorec::kb::TripleStore::new();
+    let _vs: evorec::versioning::VersionedStore = evorec::versioning::VersionedStore::new();
+    let g = evorec::graph::SchemaGraph::from_edges(vec![], &[]);
+    assert_eq!(evorec::graph::betweenness(&g).len(), 0);
+    let zipf = evorec::synth::Zipf::new(3, 1.0);
+    assert!((zipf.probability(0) + zipf.probability(1) + zipf.probability(2) - 1.0).abs() < 1e-12);
+}

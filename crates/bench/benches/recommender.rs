@@ -1,15 +1,18 @@
 //! Criterion micro-benchmarks for the §III recommender pipeline:
-//! single-user and group recommendation, diversity selection, and the
-//! k-anonymiser.
+//! single-user and group recommendation, diversity selection, the
+//! k-anonymiser, and the amortised serving layer (report cache cold vs
+//! warm, batch fan-out vs sequential).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use evorec_core::{
     anonymity::anonymise, item_relatedness, relatedness::expansion_config, select_mmr,
-    DistanceMatrix, DistanceWeights, ExpandedProfile, Recommender, UserProfile, UserId,
+    DistanceMatrix, DistanceWeights, ExpandedProfile, Recommender, RecommenderConfig,
+    ReportCache, UserProfile, UserId,
 };
 use evorec_measures::{EvolutionContext, MeasureRegistry};
 use evorec_synth::workload::{clinical, curated_kb};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_recommend(c: &mut Criterion) {
     let world = curated_kb(200, 55);
@@ -59,6 +62,83 @@ fn bench_selection(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cold vs warm serving over the same evolution step. Both sides
+/// rebuild the `EvolutionContext` per request (outside the timed
+/// region), so the cold/warm delta isolates exactly what the report
+/// cache amortises: the full measure-catalogue evaluation.
+fn bench_cache(c: &mut Criterion) {
+    let world = curated_kb(200, 58);
+    let store = &world.kb.store;
+    let (base, head) = (world.base(), world.head());
+    let cache = Arc::new(ReportCache::new());
+    let recommender = Recommender::with_cache(
+        MeasureRegistry::standard(),
+        RecommenderConfig::default(),
+        Arc::clone(&cache),
+    );
+    let profile = world.population.profiles[0].clone();
+
+    let mut group = c.benchmark_group("cache");
+    group.sample_size(10);
+    group.bench_function("recommend_cold_200c", |b| {
+        b.iter_batched(
+            || {
+                cache.clear();
+                EvolutionContext::build(store, base, head)
+            },
+            |ctx| black_box(recommender.recommend(&ctx, &profile)),
+            BatchSize::PerIteration,
+        )
+    });
+    // Prime once; from here every rebuilt context fingerprints onto the
+    // same entries and the full catalogue is served from the cache.
+    cache.clear();
+    let primed = EvolutionContext::build(store, base, head);
+    let _ = recommender.recommend(&primed, &profile);
+    group.bench_function("recommend_warm_200c", |b| {
+        b.iter_batched(
+            || EvolutionContext::build(store, base, head),
+            |ctx| black_box(recommender.recommend(&ctx, &profile)),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+/// 100 users against one context: per-request `recommend` loop vs the
+/// batch fan-out that shares the candidate pool and distance matrix.
+fn bench_batch(c: &mut Criterion) {
+    let world = curated_kb(200, 59);
+    let ctx = EvolutionContext::build(&world.kb.store, world.base(), world.head());
+    let recommender = Recommender::with_defaults(MeasureRegistry::standard());
+    let pool = &world.population.profiles;
+    let profiles: Vec<UserProfile> = (0..100).map(|i| pool[i % pool.len()].clone()).collect();
+    // Warm the context's memoised centralities once for both sides.
+    let _ = recommender.recommend(&ctx, &profiles[0]);
+
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+    group.bench_function("sequential_100", |b| {
+        b.iter(|| {
+            let out: Vec<_> = profiles
+                .iter()
+                .map(|p| recommender.recommend(black_box(&ctx), p))
+                .collect();
+            black_box(out)
+        })
+    });
+    group.bench_function("batch_100", |b| {
+        b.iter(|| {
+            black_box(
+                recommender
+                    .batch()
+                    .recommend_all(black_box(&ctx), black_box(&profiles)),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_anonymise(c: &mut Criterion) {
     let world = clinical(150, 57);
     let parents = world.kb.parent_terms();
@@ -71,5 +151,12 @@ fn bench_anonymise(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_recommend, bench_selection, bench_anonymise);
+criterion_group!(
+    benches,
+    bench_recommend,
+    bench_selection,
+    bench_cache,
+    bench_batch,
+    bench_anonymise
+);
 criterion_main!(benches);

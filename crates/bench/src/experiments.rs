@@ -228,7 +228,7 @@ pub fn e5() -> Table {
             } else {
                 items.iter().enumerate().map(|(ix, it)| (ix, it.intensity)).collect()
             };
-            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             let top: Vec<bool> = scored
                 .iter()
                 .take(5)

@@ -190,10 +190,7 @@ pub fn anonymise(
         .collect();
 
     disclosed.sort_unstable_by(|a, b| {
-        b.mass
-            .partial_cmp(&a.mass)
-            .expect("finite mass")
-            .then_with(|| a.class.cmp(&b.class))
+        b.mass.total_cmp(&a.mass).then_with(|| a.class.cmp(&b.class))
     });
 
     AnonymisedReport {

@@ -1,0 +1,451 @@
+//! Sharded caching of measure reports — the amortisation layer that
+//! lets one evolution step serve many requests.
+//!
+//! Every recommendation needs the full measure catalogue evaluated over
+//! its [`EvolutionContext`], and those evaluations (betweenness shifts,
+//! multi-hop neighbourhood sums) dominate request latency. Contexts are
+//! cheap to rebuild but expensive to *evaluate*, so the cache keys each
+//! report by `(measure id, context fingerprint)`: any context describing
+//! the same evolution step — including one rebuilt from the store for a
+//! later request — hits the same entries.
+//!
+//! The key space is split across independent [`RwLock`]-guarded shards
+//! (selected by key hash), so concurrent readers on different shards
+//! never contend and writers only serialise within one shard.
+
+use evorec_kb::{FxHashMap, FxHasher};
+use evorec_measures::{
+    ContextFingerprint, EvolutionContext, MeasureId, MeasureRegistry, MeasureReport,
+};
+use parking_lot::RwLock;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default shard count; enough that a handful of serving threads rarely
+/// collide, small enough that an idle cache stays negligible.
+const DEFAULT_SHARDS: usize = 16;
+
+/// Default total entry capacity. One entry is one measure report over
+/// one evolution step, so with a standard 10-measure registry this
+/// retains roughly the 400 most recent steps — a long-running service
+/// stays bounded while any live dashboard's step set stays warm.
+const DEFAULT_CAPACITY: usize = 4096;
+
+type CacheKey = (MeasureId, ContextFingerprint);
+
+/// One shard's state: the entry map plus FIFO insertion order for
+/// eviction.
+#[derive(Default)]
+struct ShardState {
+    map: FxHashMap<CacheKey, Arc<MeasureReport>>,
+    order: VecDeque<CacheKey>,
+}
+
+type Shard = RwLock<ShardState>;
+
+/// Cumulative hit/miss counters of a [`ReportCache`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// A sharded, thread-safe cache of raw (unnormalised) measure reports
+/// keyed by `(measure, context fingerprint)`.
+///
+/// Entries are `Arc`-shared, so a hit costs one shard read-lock and a
+/// reference-count bump — no report is ever copied out. Shared between
+/// recommenders via `Arc<ReportCache>`. Total residency is bounded:
+/// each shard evicts its oldest entries (FIFO) once it exceeds its
+/// slice of the configured capacity, so a service streaming an
+/// unbounded sequence of evolution steps cannot grow without limit.
+pub struct ReportCache {
+    shards: Box<[Shard]>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ReportCache {
+    fn default() -> Self {
+        ReportCache::new()
+    }
+}
+
+impl ReportCache {
+    /// A cache with the default shard count and entry capacity.
+    pub fn new() -> ReportCache {
+        ReportCache::with_shards_and_capacity(DEFAULT_SHARDS, DEFAULT_CAPACITY)
+    }
+
+    /// A cache with an explicit shard count and the default capacity.
+    pub fn with_shards(shards: usize) -> ReportCache {
+        ReportCache::with_shards_and_capacity(shards, DEFAULT_CAPACITY)
+    }
+
+    /// A cache with the default shard count and an explicit total entry
+    /// capacity.
+    pub fn with_capacity(entries: usize) -> ReportCache {
+        ReportCache::with_shards_and_capacity(DEFAULT_SHARDS, entries)
+    }
+
+    /// A cache with explicit shard count and total entry capacity (both
+    /// clamped to at least 1; the capacity is split evenly per shard).
+    pub fn with_shards_and_capacity(shards: usize, entries: usize) -> ReportCache {
+        let shards = shards.max(1);
+        ReportCache {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            per_shard_capacity: entries.max(1).div_ceil(shards),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total entries the cache retains before evicting (per-shard slices
+    /// summed).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Shard {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up the report of `measure` over the step identified by
+    /// `fingerprint`. Counts a hit or miss.
+    pub fn get(
+        &self,
+        measure: &MeasureId,
+        fingerprint: ContextFingerprint,
+    ) -> Option<Arc<MeasureReport>> {
+        let key = (measure.clone(), fingerprint);
+        let found = self.shard_of(&key).read().map.get(&key).cloned();
+        match found {
+            Some(report) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(report)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store `report` under its own measure id and `fingerprint`,
+    /// returning the shared handle (the existing entry wins a race).
+    /// If the shard is at capacity, its oldest entries are evicted
+    /// first-in-first-out.
+    pub fn insert(
+        &self,
+        fingerprint: ContextFingerprint,
+        report: MeasureReport,
+    ) -> Arc<MeasureReport> {
+        let key = (report.measure.clone(), fingerprint);
+        let shard = self.shard_of(&key);
+        let mut guard = shard.write();
+        if let Some(existing) = guard.map.get(&key) {
+            return Arc::clone(existing);
+        }
+        while guard.map.len() >= self.per_shard_capacity {
+            let Some(oldest) = guard.order.pop_front() else {
+                break;
+            };
+            guard.map.remove(&oldest);
+        }
+        let handle = Arc::new(report);
+        guard.map.insert(key.clone(), Arc::clone(&handle));
+        guard.order.push_back(key);
+        handle
+    }
+
+    /// Evaluate `registry` over `ctx`, serving whatever it can from the
+    /// cache and computing only the missing measures (in one parallel
+    /// registry pass), which are then inserted for the next request.
+    /// Reports come back in registration order.
+    pub fn reports_for(
+        &self,
+        registry: &MeasureRegistry,
+        ctx: &EvolutionContext,
+    ) -> Vec<Arc<MeasureReport>> {
+        let fingerprint = ctx.fingerprint();
+        let mut out: Vec<Option<Arc<MeasureReport>>> = Vec::with_capacity(registry.len());
+        let mut missing: Vec<usize> = Vec::new();
+        for (ix, measure) in registry.all().iter().enumerate() {
+            let cached = self.get(&measure.id(), fingerprint);
+            if cached.is_none() {
+                missing.push(ix);
+            }
+            out.push(cached);
+        }
+        if !missing.is_empty() {
+            let computed = registry.compute_indexed(ctx, &missing);
+            for (&ix, report) in missing.iter().zip(computed) {
+                out[ix] = Some(self.insert(fingerprint, report));
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every measure either cached or computed"))
+            .collect()
+    }
+
+    /// Number of cached reports across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().map.len()).sum()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached report (stats are kept; see [`reset_stats`]).
+    ///
+    /// [`reset_stats`]: ReportCache::reset_stats
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut guard = shard.write();
+            guard.map.clear();
+            guard.order.clear();
+        }
+    }
+
+    /// Cumulative hit/miss counters since construction (or the last
+    /// [`reset_stats`](ReportCache::reset_stats)).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero the hit/miss counters.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for ReportCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReportCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity())
+            .field("entries", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evorec_kb::{Triple, TripleStore};
+    use evorec_versioning::VersionedStore;
+
+    fn world() -> (VersionedStore, EvolutionContext) {
+        let mut vs = VersionedStore::new();
+        let a = vs.intern_iri("http://x/A");
+        let b = vs.intern_iri("http://x/B");
+        let c = vs.intern_iri("http://x/C");
+        let v = *vs.vocab();
+        let mut s0 = TripleStore::new();
+        s0.insert(Triple::new(a, v.rdfs_subclassof, b));
+        s0.insert(Triple::new(c, v.rdfs_subclassof, b));
+        let v0 = vs.commit_snapshot("v0", s0.clone());
+        let mut s1 = s0;
+        let i = vs.intern_iri("http://x/i");
+        s1.insert(Triple::new(i, v.rdf_type, a));
+        let v1 = vs.commit_snapshot("v1", s1);
+        let ctx = EvolutionContext::build(&vs, v0, v1);
+        (vs, ctx)
+    }
+
+    #[test]
+    fn cold_then_warm_lookup() {
+        let (_vs, ctx) = world();
+        let registry = MeasureRegistry::standard();
+        let cache = ReportCache::new();
+        let cold = cache.reports_for(&registry, &ctx);
+        assert_eq!(cold.len(), registry.len());
+        let after_cold = cache.stats();
+        assert_eq!(after_cold.hits, 0);
+        assert_eq!(after_cold.misses, registry.len() as u64);
+        assert_eq!(cache.len(), registry.len());
+
+        let warm = cache.reports_for(&registry, &ctx);
+        let after_warm = cache.stats();
+        assert_eq!(after_warm.hits, registry.len() as u64);
+        assert_eq!(after_warm.misses, registry.len() as u64);
+        // Warm reports are the very same allocations.
+        for (c, w) in cold.iter().zip(&warm) {
+            assert!(Arc::ptr_eq(c, w), "{}", c.measure);
+        }
+        assert!((after_warm.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_reports_equal_fresh_computation() {
+        let (_vs, ctx) = world();
+        let registry = MeasureRegistry::standard();
+        let cache = ReportCache::new();
+        let _ = cache.reports_for(&registry, &ctx);
+        let warm = cache.reports_for(&registry, &ctx);
+        for (cached, measure) in warm.iter().zip(registry.all()) {
+            let fresh = measure.compute(&ctx);
+            assert_eq!(cached.measure, fresh.measure);
+            assert_eq!(cached.scores(), fresh.scores());
+        }
+    }
+
+    #[test]
+    fn rebuilt_context_hits_the_same_entries() {
+        let (vs, ctx) = world();
+        let registry = MeasureRegistry::standard();
+        let cache = ReportCache::new();
+        let first = cache.reports_for(&registry, &ctx);
+        let rebuilt = EvolutionContext::build(&vs, ctx.from, ctx.to);
+        let second = cache.reports_for(&registry, &rebuilt);
+        for (a, b) in first.iter().zip(&second) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        assert_eq!(cache.stats().hits, registry.len() as u64);
+    }
+
+    #[test]
+    fn different_steps_do_not_collide() {
+        let (vs, ctx) = world();
+        let registry = MeasureRegistry::standard();
+        let cache = ReportCache::new();
+        let _ = cache.reports_for(&registry, &ctx);
+        let idle = EvolutionContext::build(&vs, ctx.from, ctx.from);
+        let _ = cache.reports_for(&registry, &idle);
+        assert_eq!(cache.len(), 2 * registry.len());
+    }
+
+    #[test]
+    fn clear_and_reset_stats() {
+        let (_vs, ctx) = world();
+        let registry = MeasureRegistry::standard();
+        let cache = ReportCache::with_shards(4);
+        assert_eq!(cache.shard_count(), 4);
+        let _ = cache.reports_for(&registry, &ctx);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.reset_stats();
+        assert_eq!(cache.stats(), CacheStats::default());
+        // After a clear, lookups miss again.
+        let _ = cache.reports_for(&registry, &ctx);
+        assert_eq!(cache.stats().misses, registry.len() as u64);
+    }
+
+    #[test]
+    fn insert_race_keeps_first_entry() {
+        let (_vs, ctx) = world();
+        let registry = MeasureRegistry::standard();
+        let cache = ReportCache::new();
+        let fp = ctx.fingerprint();
+        let report = registry.all()[0].compute(&ctx);
+        let first = cache.insert(fp, report.clone());
+        let second = cache.insert(fp, report);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_residency_with_fifo_eviction() {
+        let (vs, ctx) = world();
+        let registry = MeasureRegistry::standard();
+        // One shard so the FIFO order is global and assertable; room
+        // for exactly one step's worth of reports.
+        let cache = ReportCache::with_shards_and_capacity(1, registry.len());
+        assert_eq!(cache.capacity(), registry.len());
+        let first = cache.reports_for(&registry, &ctx);
+        assert_eq!(cache.len(), registry.len());
+        // A second step evicts the first step's entries instead of
+        // growing without bound.
+        let idle = EvolutionContext::build(&vs, ctx.from, ctx.from);
+        let _ = cache.reports_for(&registry, &idle);
+        assert_eq!(cache.len(), registry.len(), "stays at capacity");
+        // The first step now misses again (its entries were evicted) …
+        cache.reset_stats();
+        let recomputed = cache.reports_for(&registry, &ctx);
+        assert_eq!(cache.stats().misses, registry.len() as u64);
+        // … but recomputes to identical content.
+        for (old, new) in first.iter().zip(&recomputed) {
+            assert_eq!(old.measure, new.measure);
+            assert_eq!(old.scores(), new.scores());
+        }
+    }
+
+    #[test]
+    fn tiny_capacity_still_serves() {
+        let (_vs, ctx) = world();
+        let registry = MeasureRegistry::standard();
+        // Degenerate: capacity smaller than one catalogue pass. Every
+        // request recomputes most measures, but answers stay correct.
+        let cache = ReportCache::with_shards_and_capacity(2, 3);
+        for _ in 0..3 {
+            let reports = cache.reports_for(&registry, &ctx);
+            assert_eq!(reports.len(), registry.len());
+        }
+        assert!(cache.len() <= cache.capacity());
+    }
+
+    #[test]
+    fn stats_hit_rate_edge_cases() {
+        let stats = CacheStats::default();
+        assert_eq!(stats.lookups(), 0);
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_agree() {
+        let (vs, ctx) = world();
+        let registry = MeasureRegistry::standard();
+        let cache = Arc::new(ReportCache::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let registry = &registry;
+                let vs = &vs;
+                let (from, to) = (ctx.from, ctx.to);
+                scope.spawn(move || {
+                    let ctx = EvolutionContext::build(vs, from, to);
+                    let reports = cache.reports_for(registry, &ctx);
+                    assert_eq!(reports.len(), registry.len());
+                });
+            }
+        });
+        // All four threads keyed the same fingerprint: one entry set.
+        assert_eq!(cache.len(), registry.len());
+    }
+}

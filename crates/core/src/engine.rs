@@ -1,6 +1,8 @@
 //! The recommender engine: candidate generation → relatedness → diversity
-//! / fairness selection.
+//! / fairness selection, plus the amortised serving layer (report cache
+//! + batch fan-out) that answers many requests against one context.
 
+use crate::cache::{CacheStats, ReportCache};
 use crate::diversity::{select_mmr, swap_refine, DistanceMatrix, DistanceWeights};
 use crate::fairness::{
     fairness_report, select_for_group, FairnessReport, GroupAggregation, RelevanceMatrix,
@@ -13,6 +15,7 @@ use crate::relatedness::{
 use evorec_graph::PageRankConfig;
 use evorec_kb::FxHashMap;
 use evorec_measures::{EvolutionContext, MeasureId, MeasureRegistry, MeasureReport};
+use std::sync::Arc;
 
 /// Tunables of the recommendation pipeline.
 #[derive(Clone, Copy, Debug)]
@@ -61,6 +64,9 @@ pub struct Recommendation {
     pub items: Vec<ScoredItem>,
     /// Size of the candidate pool the selection was drawn from.
     pub candidates_considered: usize,
+    /// Cumulative report-cache counters at the time this answer was
+    /// produced (`None` when the recommender runs uncached).
+    pub cache_stats: Option<CacheStats>,
 }
 
 /// A group recommendation with fairness diagnostics.
@@ -75,24 +81,49 @@ pub struct GroupRecommendation {
     pub strategy: GroupAggregation,
     /// Size of the candidate pool.
     pub candidates_considered: usize,
+    /// Cumulative report-cache counters at the time this answer was
+    /// produced (`None` when the recommender runs uncached).
+    pub cache_stats: Option<CacheStats>,
 }
 
 /// The human-aware evolution-measure recommender (the paper's §III
-/// processing model).
+/// processing model), optionally backed by a shared [`ReportCache`] so
+/// repeated requests over the same evolution step skip measure
+/// evaluation entirely.
 pub struct Recommender {
     registry: MeasureRegistry,
     config: RecommenderConfig,
+    cache: Option<Arc<ReportCache>>,
 }
 
 impl Recommender {
-    /// Build with an explicit configuration.
+    /// Build with an explicit configuration (uncached).
     pub fn new(registry: MeasureRegistry, config: RecommenderConfig) -> Recommender {
-        Recommender { registry, config }
+        Recommender {
+            registry,
+            config,
+            cache: None,
+        }
     }
 
-    /// Build with [`RecommenderConfig::default`].
+    /// Build with [`RecommenderConfig::default`] (uncached).
     pub fn with_defaults(registry: MeasureRegistry) -> Recommender {
         Recommender::new(registry, RecommenderConfig::default())
+    }
+
+    /// Build with an explicit configuration and a shared report cache.
+    /// Several recommenders (e.g. one per serving thread) may share one
+    /// cache.
+    pub fn with_cache(
+        registry: MeasureRegistry,
+        config: RecommenderConfig,
+        cache: Arc<ReportCache>,
+    ) -> Recommender {
+        Recommender {
+            registry,
+            config,
+            cache: Some(cache),
+        }
     }
 
     /// The measure catalogue.
@@ -105,6 +136,31 @@ impl Recommender {
         &self.config
     }
 
+    /// The attached report cache, if any.
+    pub fn cache(&self) -> Option<&Arc<ReportCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Current cache counters, for response diagnostics.
+    fn cache_snapshot(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Raw measure reports over `ctx`, in registration order — served
+    /// from the cache when one is attached, computed (in parallel)
+    /// otherwise.
+    fn reports(&self, ctx: &EvolutionContext) -> Vec<Arc<MeasureReport>> {
+        match &self.cache {
+            Some(cache) => cache.reports_for(&self.registry, ctx),
+            None => self
+                .registry
+                .compute_all(ctx)
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
+        }
+    }
+
     /// Generate the candidate pool: the top `pool_per_measure` positive
     /// regions of every measure, with min-max-normalised intensity.
     /// Returns the pool and the normalised reports (for distances).
@@ -114,7 +170,7 @@ impl Recommender {
     ) -> (Vec<Item>, FxHashMap<MeasureId, MeasureReport>) {
         let mut items = Vec::new();
         let mut reports = FxHashMap::default();
-        for report in self.registry.compute_all(ctx) {
+        for report in self.reports(ctx) {
             let normalised = report.normalised();
             for &(term, score) in normalised.top_k(self.config.pool_per_measure) {
                 if score > 0.0 {
@@ -131,15 +187,14 @@ impl Recommender {
         (items, reports)
     }
 
-    /// Recommend `top_k` items for one user.
-    pub fn recommend(&self, ctx: &EvolutionContext, profile: &UserProfile) -> Recommendation {
-        let (items, reports) = self.candidates(ctx);
-        if items.is_empty() {
-            return Recommendation {
-                items: Vec::new(),
-                candidates_considered: 0,
-            };
-        }
+    /// Per-candidate `(relevance, novelty, effective)` scores of one
+    /// profile over an item pool.
+    fn score_items(
+        &self,
+        ctx: &EvolutionContext,
+        profile: &UserProfile,
+        items: &[Item],
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let expanded = ExpandedProfile::expand(profile, &ctx.graph_union, self.config.pagerank);
         let relevance: Vec<f64> = items
             .iter()
@@ -161,28 +216,33 @@ impl Recommender {
             .zip(&novelty)
             .map(|(r, n)| r * (1.0 - w + w * n))
             .collect();
+        (relevance, novelty, effective)
+    }
 
-        let distances = DistanceMatrix::compute(
-            &items,
-            &reports,
-            self.config.rank_k_for_distance,
-            self.config.distance_weights,
-        );
-        let picks = select_mmr(&effective, &distances, self.config.top_k, self.config.mmr_lambda);
+    /// The per-user tail of the pipeline: score the shared pool for one
+    /// profile and run MMR + swap refinement over the shared distances.
+    fn select_for_profile(
+        &self,
+        ctx: &EvolutionContext,
+        profile: &UserProfile,
+        items: &[Item],
+        distances: &DistanceMatrix,
+    ) -> Recommendation {
+        let (relevance, novelty, effective) = self.score_items(ctx, profile, items);
+        let picks = select_mmr(&effective, distances, self.config.top_k, self.config.mmr_lambda);
         let mut selection: Vec<usize> = picks.iter().map(|&(i, _)| i).collect();
         if self.config.swap_passes > 0 {
             selection = swap_refine(
                 &selection,
                 &effective,
-                &distances,
+                distances,
                 self.config.mmr_lambda,
                 self.config.swap_passes,
             );
             // Keep presentation order by effective relevance.
             selection.sort_unstable_by(|&a, &b| {
                 effective[b]
-                    .partial_cmp(&effective[a])
-                    .expect("finite")
+                    .total_cmp(&effective[a])
                     .then_with(|| a.cmp(&b))
             });
         }
@@ -198,6 +258,36 @@ impl Recommender {
         Recommendation {
             items: scored,
             candidates_considered: items.len(),
+            cache_stats: self.cache_snapshot(),
+        }
+    }
+
+    /// Recommend `top_k` items for one user.
+    pub fn recommend(&self, ctx: &EvolutionContext, profile: &UserProfile) -> Recommendation {
+        let (items, reports) = self.candidates(ctx);
+        if items.is_empty() {
+            return Recommendation {
+                items: Vec::new(),
+                candidates_considered: 0,
+                cache_stats: self.cache_snapshot(),
+            };
+        }
+        let distances = DistanceMatrix::compute(
+            &items,
+            &reports,
+            self.config.rank_k_for_distance,
+            self.config.distance_weights,
+        );
+        self.select_for_profile(ctx, profile, &items, &distances)
+    }
+
+    /// Answer many profiles against one context: the candidate pool and
+    /// distance matrix are computed once, then the per-user selections
+    /// fan out across worker threads. See [`BatchRecommender`].
+    pub fn batch(&self) -> BatchRecommender<'_> {
+        BatchRecommender {
+            recommender: self,
+            threads: default_worker_threads(),
         }
     }
 
@@ -214,18 +304,16 @@ impl Recommender {
     ) -> Vec<(MeasureId, f64)> {
         let expanded = ExpandedProfile::expand(profile, &ctx.graph_union, self.config.pagerank);
         let mut scored: Vec<(MeasureId, evorec_measures::MeasureCategory, f64)> = self
-            .registry
-            .compute_all(ctx)
+            .reports(ctx)
             .into_iter()
             .map(|report| {
                 let score =
                     report_relatedness(&expanded, &report, self.config.pool_per_measure);
-                (report.measure, report.category, score)
+                (report.measure.clone(), report.category, score)
             })
             .collect();
         scored.sort_by(|a, b| {
-            b.2.partial_cmp(&a.2)
-                .expect("finite scores")
+            b.2.total_cmp(&a.2)
                 .then_with(|| a.0.as_str().cmp(b.0.as_str()))
         });
         // Diversity pass: deal the sorted list round-robin by category so
@@ -267,6 +355,17 @@ impl Recommender {
         ctx: &EvolutionContext,
         profiles: &[UserProfile],
     ) -> GroupRecommendation {
+        self.group_with_threads(ctx, profiles, 1)
+    }
+
+    /// The group pipeline with an explicit fan-out width for the
+    /// relevance-matrix rows (1 = serial; used by [`BatchRecommender`]).
+    fn group_with_threads(
+        &self,
+        ctx: &EvolutionContext,
+        profiles: &[UserProfile],
+        threads: usize,
+    ) -> GroupRecommendation {
         let (items, _reports) = self.candidates(ctx);
         if items.is_empty() || profiles.is_empty() {
             return GroupRecommendation {
@@ -274,28 +373,10 @@ impl Recommender {
                 fairness: fairness_report(&RelevanceMatrix::new(vec![]), &[]),
                 strategy: self.config.group_aggregation,
                 candidates_considered: items.len(),
+                cache_stats: self.cache_snapshot(),
             };
         }
-        let w = self.config.novelty_weight.clamp(0.0, 1.0);
-        let rows: Vec<Vec<f64>> = profiles
-            .iter()
-            .map(|profile| {
-                let expanded =
-                    ExpandedProfile::expand(profile, &ctx.graph_union, self.config.pagerank);
-                items
-                    .iter()
-                    .map(|it| {
-                        let rel = item_relatedness(&expanded, it);
-                        let nov = if profile.has_seen(&it.measure, it.focus) {
-                            0.0
-                        } else {
-                            1.0
-                        };
-                        rel * (1.0 - w + w * nov)
-                    })
-                    .collect()
-            })
-            .collect();
+        let rows = self.effective_rows(ctx, profiles, &items, threads);
         let matrix = RelevanceMatrix::new(rows);
         let selection = select_for_group(&matrix, self.config.top_k, self.config.group_aggregation);
         let fairness = fairness_report(&matrix, &selection);
@@ -318,7 +399,134 @@ impl Recommender {
             fairness,
             strategy: self.config.group_aggregation,
             candidates_considered: items.len(),
+            cache_stats: self.cache_snapshot(),
         }
+    }
+
+    /// One effective-relevance row per profile over a shared item pool,
+    /// computed across up to `threads` scoped worker threads (row order
+    /// follows profile order regardless of the thread count).
+    fn effective_rows(
+        &self,
+        ctx: &EvolutionContext,
+        profiles: &[UserProfile],
+        items: &[Item],
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        fan_out(profiles, threads, |profile| {
+            self.score_items(ctx, profile, items).2
+        })
+    }
+}
+
+/// Map `f` over `items`, fanning the work out across up to `threads`
+/// ways (contiguous chunks). The final chunk runs inline on the calling
+/// thread — which would otherwise idle in join — so only `threads − 1`
+/// workers are spawned. Results come back in item order; `threads <= 1`
+/// or a single item runs entirely inline with no spawn.
+fn fan_out<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut chunks: Vec<&[T]> = items.chunks(chunk).collect();
+        let last = chunks.pop().expect("items is non-empty");
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|slice| scope.spawn(move || slice.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let tail: Vec<R> = last.iter().map(f).collect();
+        let mut out: Vec<R> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fan-out worker panicked"))
+            .collect();
+        out.extend(tail);
+        out
+    })
+}
+
+/// Sensible worker-thread default for batch fan-out: the machine's
+/// available parallelism (1 if unknown).
+fn default_worker_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Amortised many-users-one-context serving: the candidate pool,
+/// normalised reports and pairwise distance matrix are computed once
+/// (through the report cache when the underlying [`Recommender`] has
+/// one), and only the cheap per-user work — profile expansion, scoring,
+/// MMR + swap refinement — fans out across scoped worker threads.
+///
+/// Obtained from [`Recommender::batch`]; answers arrive in profile
+/// order, and each equals what [`Recommender::recommend`] would have
+/// returned for that profile alone.
+pub struct BatchRecommender<'a> {
+    recommender: &'a Recommender,
+    threads: usize,
+}
+
+impl BatchRecommender<'_> {
+    /// Override the worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Recommend for every profile against one shared context.
+    pub fn recommend_all(
+        &self,
+        ctx: &EvolutionContext,
+        profiles: &[UserProfile],
+    ) -> Vec<Recommendation> {
+        let r = self.recommender;
+        if profiles.is_empty() {
+            return Vec::new();
+        }
+        let (items, reports) = r.candidates(ctx);
+        if items.is_empty() {
+            return profiles
+                .iter()
+                .map(|_| Recommendation {
+                    items: Vec::new(),
+                    candidates_considered: 0,
+                    cache_stats: r.cache_snapshot(),
+                })
+                .collect();
+        }
+        let distances = DistanceMatrix::compute(
+            &items,
+            &reports,
+            r.config.rank_k_for_distance,
+            r.config.distance_weights,
+        );
+        fan_out(profiles, self.threads, |p| {
+            r.select_for_profile(ctx, p, &items, &distances)
+        })
+    }
+
+    /// Group recommendation with the relevance-matrix rows fanned out
+    /// across the batch's worker threads (identical output to
+    /// [`Recommender::recommend_for_group`]).
+    pub fn recommend_for_group(
+        &self,
+        ctx: &EvolutionContext,
+        profiles: &[UserProfile],
+    ) -> GroupRecommendation {
+        self.recommender.group_with_threads(ctx, profiles, self.threads)
     }
 }
 
@@ -533,6 +741,93 @@ mod tests {
         assert_eq!(r.recommend_measures(&w.ctx, &profile, 4), ranked);
         // k larger than the catalogue clamps.
         assert!(r.recommend_measures(&w.ctx, &profile, 99).len() <= registry.len());
+    }
+
+    #[test]
+    fn cached_recommender_matches_uncached() {
+        let w = world();
+        let uncached = recommender();
+        let cache = Arc::new(ReportCache::new());
+        let cached = Recommender::with_cache(
+            MeasureRegistry::standard(),
+            RecommenderConfig::default(),
+            Arc::clone(&cache),
+        );
+        let profile = UserProfile::new(UserId(1), "a").with_interest(w.leaf_a, 1.0);
+        let baseline = uncached.recommend(&w.ctx, &profile);
+        assert!(baseline.cache_stats.is_none());
+        let cold = cached.recommend(&w.ctx, &profile);
+        let warm = cached.recommend(&w.ctx, &profile);
+        let keys = |rec: &Recommendation| {
+            rec.items
+                .iter()
+                .map(|s| (s.item.measure.as_str().to_string(), s.item.focus))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(keys(&baseline), keys(&cold));
+        assert_eq!(keys(&baseline), keys(&warm));
+        // Diagnostics show the second request was fully served warm.
+        let stats = warm.cache_stats.expect("cached run reports stats");
+        let catalogue = cached.registry().len() as u64;
+        assert_eq!(stats.misses, catalogue, "only the cold pass missed");
+        assert!(stats.hits >= catalogue, "warm pass hit every measure");
+    }
+
+    #[test]
+    fn batch_matches_sequential_recommend() {
+        let w = world();
+        let r = recommender();
+        let profiles: Vec<UserProfile> = (0..7)
+            .map(|i| {
+                let focus = if i % 2 == 0 { w.leaf_a } else { w.leaf_b };
+                UserProfile::new(UserId(i), format!("u{i}")).with_interest(focus, 1.0)
+            })
+            .collect();
+        let batched = r.batch().with_threads(3).recommend_all(&w.ctx, &profiles);
+        assert_eq!(batched.len(), profiles.len());
+        let keys = |rec: &Recommendation| {
+            rec.items
+                .iter()
+                .map(|s| (s.item.measure.as_str().to_string(), s.item.focus))
+                .collect::<Vec<_>>()
+        };
+        for (profile, rec) in profiles.iter().zip(&batched) {
+            let solo = r.recommend(&w.ctx, profile);
+            assert_eq!(keys(&solo), keys(rec), "user {:?}", profile.id);
+            assert_eq!(solo.candidates_considered, rec.candidates_considered);
+        }
+        // Degenerate widths behave.
+        let serial = r.batch().with_threads(1).recommend_all(&w.ctx, &profiles);
+        assert_eq!(serial.len(), profiles.len());
+        for (a, b) in batched.iter().zip(&serial) {
+            assert_eq!(keys(a), keys(b));
+        }
+        assert!(r.batch().recommend_all(&w.ctx, &[]).is_empty());
+        assert!(r.batch().with_threads(0).threads() >= 1);
+    }
+
+    #[test]
+    fn batch_group_matches_direct_group() {
+        let w = world();
+        let r = recommender();
+        let profiles = vec![
+            UserProfile::new(UserId(1), "a").with_interest(w.leaf_a, 1.0),
+            UserProfile::new(UserId(2), "b").with_interest(w.leaf_b, 1.0),
+            UserProfile::new(UserId(3), "ab")
+                .with_interest(w.branch_a, 0.5)
+                .with_interest(w.branch_b, 0.5),
+        ];
+        let direct = r.recommend_for_group(&w.ctx, &profiles);
+        let batched = r.batch().with_threads(2).recommend_for_group(&w.ctx, &profiles);
+        let keys = |rec: &GroupRecommendation| {
+            rec.items
+                .iter()
+                .map(|s| (s.item.measure.as_str().to_string(), s.item.focus))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(keys(&direct), keys(&batched));
+        assert_eq!(direct.fairness.jain_index, batched.fairness.jain_index);
+        assert_eq!(direct.strategy, batched.strategy);
     }
 
     #[test]

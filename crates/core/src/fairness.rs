@@ -139,11 +139,7 @@ pub fn select_for_group(
                     (i, score)
                 })
                 .collect();
-            scored.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .expect("finite scores")
-                    .then_with(|| a.0.cmp(&b.0))
-            });
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             scored.into_iter().take(k).map(|(i, _)| i).collect()
         }
         GroupAggregation::FairProportional => {

@@ -15,11 +15,16 @@
 //! | Anonymity | [`anonymity`] | k-anonymous change-feed aggregation with hierarchy roll-up and suppression |
 //!
 //! [`Recommender`] wires the pipeline together; [`FeedbackLoop`] closes
-//! the loop by folding user reactions back into profiles.
+//! the loop by folding user reactions back into profiles. The serving
+//! layer amortises the expensive half of the pipeline: [`ReportCache`]
+//! memoises measure reports by `(measure, context fingerprint)` across
+//! requests, and [`BatchRecommender`] answers many profiles against one
+//! context with the per-user tail fanned out over worker threads.
 
 #![warn(missing_docs)]
 
 pub mod anonymity;
+pub mod cache;
 pub mod diversity;
 mod engine;
 pub mod fairness;
@@ -31,11 +36,14 @@ pub mod session;
 pub mod transparency;
 
 pub use anonymity::{anonymise, AnonymisedCell, AnonymisedReport, UserFeed};
+pub use cache::{CacheStats, ReportCache};
 pub use diversity::{
     category_coverage, intra_set_distance, select_mmr, set_objective, swap_refine,
     DistanceMatrix, DistanceWeights,
 };
-pub use engine::{GroupRecommendation, Recommendation, Recommender, RecommenderConfig};
+pub use engine::{
+    BatchRecommender, GroupRecommendation, Recommendation, Recommender, RecommenderConfig,
+};
 pub use fairness::{
     fairness_report, select_for_group, FairnessReport, GroupAggregation, RelevanceMatrix,
 };

@@ -109,11 +109,7 @@ impl UserProfile {
     /// The `k` strongest interests, descending weight (ties by term id).
     pub fn top_interests(&self, k: usize) -> Vec<(TermId, f64)> {
         let mut all: Vec<(TermId, f64)> = self.interests().collect();
-        all.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("weights are finite")
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        all.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         all.truncate(k);
         all
     }

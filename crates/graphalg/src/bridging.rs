@@ -99,7 +99,7 @@ mod tests {
     fn bridge_node_has_highest_bridging_centrality() {
         let g = barbell();
         let bc = bridging_centrality(&g);
-        let best = (0..7).max_by(|&a, &b| bc[a].partial_cmp(&bc[b]).unwrap()).unwrap();
+        let best = (0..7).max_by(|&a, &b| bc[a].total_cmp(&bc[b])).unwrap();
         assert_eq!(best, 3, "the barbell bridge must win: {bc:?}");
     }
 

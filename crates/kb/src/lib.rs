@@ -33,7 +33,7 @@ mod term;
 mod triple;
 pub mod vocab;
 
-pub use fxhash::{FxHashMap, FxHashSet};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use graph::Graph;
 pub use interner::TermInterner;
 pub use ntriples::ParseError;

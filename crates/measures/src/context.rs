@@ -1,9 +1,37 @@
 //! Shared evaluation context for one evolution step.
 
 use evorec_graph::{betweenness, bridging_centrality_with, SchemaGraph};
-use evorec_kb::{SchemaView, TermId};
+use evorec_kb::{FxHasher, SchemaView, TermId};
 use evorec_versioning::{ChangeSet, LowLevelDelta, VersionId, VersionedStore};
+use std::hash::Hasher;
 use std::sync::{Arc, OnceLock};
+
+/// A stable identity for one evolution step: the version pair plus a
+/// digest of the delta and the union class graph.
+///
+/// Two contexts built from the same store state for the same step hash
+/// to the same fingerprint, so downstream caches (e.g. the serving
+/// layer's report cache) can key amortised work by it. The digest folds
+/// in the full triple content of both version snapshots (measures read
+/// instance extents and property structure from the schema views, not
+/// just the delta) plus the delta and union-graph shape, so a store
+/// whose history holds different data under the same version numbers
+/// fingerprints differently.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ContextFingerprint {
+    /// The earlier version of the step.
+    pub from: VersionId,
+    /// The later version of the step.
+    pub to: VersionId,
+    /// Content digest of the delta and union graph.
+    pub digest: u64,
+}
+
+impl std::fmt::Display for ContextFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}→{}#{:016x}", self.from, self.to, self.digest)
+    }
+}
 
 /// Everything a measure needs about one evolution step V_from → V_to,
 /// built once and shared.
@@ -33,6 +61,7 @@ pub struct EvolutionContext {
     /// Class graph over the union of both versions' classes and
     /// adjacencies — the N_{V1,V2} universe of the paper's §II(b).
     pub graph_union: Arc<SchemaGraph>,
+    fingerprint: ContextFingerprint,
     betweenness_before: OnceLock<Arc<Vec<f64>>>,
     betweenness_after: OnceLock<Arc<Vec<f64>>>,
     bridging_before: OnceLock<Arc<Vec<f64>>>,
@@ -52,6 +81,16 @@ impl EvolutionContext {
         let graph_before = Arc::new(SchemaGraph::from_schema_view(&before));
         let graph_after = Arc::new(SchemaGraph::from_schema_view(&after));
         let graph_union = Arc::new(union_graph(&before, &after));
+        let fingerprint = ContextFingerprint {
+            from,
+            to,
+            digest: digest_step(
+                store.snapshot(from),
+                store.snapshot(to),
+                &delta,
+                &graph_union,
+            ),
+        };
         EvolutionContext {
             from,
             to,
@@ -62,6 +101,7 @@ impl EvolutionContext {
             graph_before,
             graph_after,
             graph_union,
+            fingerprint,
             betweenness_before: OnceLock::new(),
             betweenness_after: OnceLock::new(),
             bridging_before: OnceLock::new(),
@@ -101,6 +141,12 @@ impl EvolutionContext {
         })
     }
 
+    /// Stable identity of this evolution step (version pair + content
+    /// digest), suitable as a cache key for per-step derived artefacts.
+    pub fn fingerprint(&self) -> ContextFingerprint {
+        self.fingerprint
+    }
+
     /// All classes present in either version, ascending by id.
     pub fn all_classes(&self) -> Vec<TermId> {
         let mut out: Vec<TermId> = self
@@ -128,6 +174,52 @@ impl EvolutionContext {
         out.dedup();
         out
     }
+}
+
+/// Content digest of one evolution step. Triple sets (both full
+/// version snapshots and the delta's added/removed sides) are
+/// order-independently XOR-folded, so the stores' internal iteration
+/// order cannot leak into the fingerprint; the union graph's nodes and
+/// adjacency are folded in index order (deterministic: nodes are
+/// sorted by term id, adjacency lists are sorted). Hashing the whole
+/// snapshots matters: measures read instance extents and property
+/// structure from the schema views, and triples shared by both
+/// versions appear in neither the delta nor the union class graph.
+fn digest_step(
+    before: &evorec_kb::TripleStore,
+    after: &evorec_kb::TripleStore,
+    delta: &LowLevelDelta,
+    union: &SchemaGraph,
+) -> u64 {
+    fn triple_hash(triple: &evorec_kb::Triple, salt: u64) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(salt);
+        h.write_u32(triple.s.as_u32());
+        h.write_u32(triple.p.as_u32());
+        h.write_u32(triple.o.as_u32());
+        h.finish()
+    }
+    fn fold_triples<'a>(triples: impl Iterator<Item = evorec_kb::Triple> + 'a, salt: u64) -> u64 {
+        triples.fold(0u64, |acc, t| acc ^ triple_hash(&t, salt))
+    }
+    let mut h = FxHasher::default();
+    h.write_usize(before.len());
+    h.write_usize(after.len());
+    h.write_u64(fold_triples(before.iter(), 0xBEF));
+    h.write_u64(fold_triples(after.iter(), 0xAF7));
+    h.write_usize(delta.added_count());
+    h.write_usize(delta.removed_count());
+    h.write_u64(fold_triples(delta.added.iter(), 0xADD));
+    h.write_u64(fold_triples(delta.removed.iter(), 0xDE1));
+    h.write_usize(union.node_count());
+    h.write_usize(union.edge_count());
+    for u in union.node_indexes() {
+        h.write_u32(union.term(u).as_u32());
+        for &v in union.neighbours(u) {
+            h.write_u32(v);
+        }
+    }
+    h.finish()
 }
 
 /// Build the union class graph of two schema views: nodes are the union
@@ -163,6 +255,7 @@ impl std::fmt::Debug for EvolutionContext {
             .field("to", &self.to)
             .field("delta_size", &self.delta.size())
             .field("classes_union", &self.graph_union.node_count())
+            .field("fingerprint", &self.fingerprint)
             .finish()
     }
 }
@@ -225,6 +318,75 @@ mod tests {
         let br2 = Arc::clone(ctx.bridging_before());
         assert!(Arc::ptr_eq(&br1, &br2));
         assert_eq!(b1.len(), ctx.graph_after.node_count());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_rebuilds() {
+        let (vs, v0, v1, _) = store();
+        let a = EvolutionContext::build(&vs, v0, v1);
+        let b = EvolutionContext::build(&vs, v0, v1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint().from, v0);
+        assert_eq!(a.fingerprint().to, v1);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_steps_and_directions() {
+        let (vs, v0, v1, _) = store();
+        let forward = EvolutionContext::build(&vs, v0, v1);
+        let reverse = EvolutionContext::build(&vs, v1, v0);
+        let idle = EvolutionContext::build(&vs, v0, v0);
+        assert_ne!(forward.fingerprint(), reverse.fingerprint());
+        assert_ne!(forward.fingerprint(), idle.fingerprint());
+        // The digest itself reacts to content, not just the id pair: an
+        // idle step has an empty delta, a real step does not.
+        assert_ne!(forward.fingerprint().digest, idle.fingerprint().digest);
+    }
+
+    /// Regression: measures read instance extents from the schema
+    /// views, and instances present in *both* versions appear in
+    /// neither the delta nor the union class graph — the digest must
+    /// still see them, or two stores differing only in unchanged
+    /// instance populations would collide in a shared report cache.
+    #[test]
+    fn fingerprint_sees_unchanged_instance_extents() {
+        // Both stores intern the identical term sequence, share the
+        // identical class graph and the identical delta; they differ
+        // only in an instance triple carried unchanged through the step.
+        let build = |with_extra_instance: bool| {
+            let mut vs = VersionedStore::new();
+            let c = vs.intern_iri("http://x/C");
+            let r = vs.intern_iri("http://x/R");
+            let i1 = vs.intern_iri("http://x/i1");
+            let i2 = vs.intern_iri("http://x/i2");
+            let j = vs.intern_iri("http://x/j");
+            let v = *vs.vocab();
+            let mut s0 = TripleStore::new();
+            s0.insert(Triple::new(c, v.rdfs_subclassof, r));
+            s0.insert(Triple::new(i1, v.rdf_type, c));
+            if with_extra_instance {
+                s0.insert(Triple::new(i2, v.rdf_type, c));
+            }
+            let v0 = vs.commit_snapshot("v0", s0.clone());
+            let mut s1 = s0;
+            s1.insert(Triple::new(j, v.rdf_type, c));
+            let v1 = vs.commit_snapshot("v1", s1);
+            let ctx = EvolutionContext::build(&vs, v0, v1);
+            ctx.fingerprint()
+        };
+        let rich = build(true);
+        let sparse = build(false);
+        assert_eq!(rich.from, sparse.from);
+        assert_eq!(rich.to, sparse.to);
+        assert_ne!(rich.digest, sparse.digest);
+    }
+
+    #[test]
+    fn fingerprint_displays_version_pair() {
+        let (vs, v0, v1, _) = store();
+        let ctx = EvolutionContext::build(&vs, v0, v1);
+        let text = ctx.fingerprint().to_string();
+        assert!(text.starts_with("V0→V1#"), "{text}");
     }
 
     #[test]

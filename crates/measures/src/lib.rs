@@ -32,11 +32,11 @@ pub mod similarity;
 mod structural;
 
 pub use change_count::{ClassChangeCount, PropertyChangeCount};
-pub use context::EvolutionContext;
+pub use context::{ContextFingerprint, EvolutionContext};
 pub use extensions::{
     InstanceEntropyShift, PropertyImportanceShift, PropertyNeighbourhoodChangeCount,
 };
-pub use measure::{EvolutionMeasure, MeasureCategory, MeasureId, TargetKind};
+pub use measure::{EvolutionMeasure, MeasureCategory, MeasureCost, MeasureId, TargetKind};
 pub use neighbourhood::NeighbourhoodChangeCount;
 pub use registry::MeasureRegistry;
 pub use report::MeasureReport;

@@ -30,11 +30,7 @@ impl MeasureReport {
         mut scores: Vec<(TermId, f64)>,
     ) -> MeasureReport {
         scores.retain(|(_, s)| s.is_finite());
-        scores.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("scores are finite")
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        scores.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let rank_index = scores
             .iter()
             .enumerate()

@@ -37,23 +37,28 @@ impl Zipf {
         self.cumulative.len()
     }
 
-    /// `true` if the sampler has a single rank.
+    /// Always `false`: [`Zipf::new`] rejects `n == 0`, so a constructed
+    /// sampler has at least one rank.
     pub fn is_empty(&self) -> bool {
-        false // construction requires n > 0
+        false // invariant: n > 0 enforced at construction
     }
 
     /// Draw one rank in `0..n`.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
-        let needle = rng.gen_range(0.0..total);
-        // First index whose cumulative weight exceeds the needle.
-        match self
-            .cumulative
-            .binary_search_by(|w| w.partial_cmp(&needle).expect("finite weights"))
-        {
-            Ok(ix) => (ix + 1).min(self.cumulative.len() - 1),
-            Err(ix) => ix,
-        }
+        self.rank_for(rng.gen_range(0.0..total))
+    }
+
+    /// The rank whose half-open cumulative interval `[cum[r−1], cum[r])`
+    /// contains `needle`. Rank `r`'s interval excludes its own upper
+    /// bound, so a needle landing exactly on `cum[r]` belongs to rank
+    /// `r + 1`; the final clamp only guards against a needle at (or
+    /// beyond) the total weight, which [`Zipf::sample`]'s exclusive
+    /// range never produces but float callers might.
+    fn rank_for(&self, needle: f64) -> usize {
+        self.cumulative
+            .partition_point(|&w| w <= needle)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Probability of rank `r`.
@@ -142,5 +147,40 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_rejected() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn never_empty_by_construction() {
+        assert!(!Zipf::new(1, 1.0).is_empty());
+        assert!(!Zipf::new(100, 0.0).is_empty());
+        assert_eq!(Zipf::new(1, 1.0).len(), 1);
+    }
+
+    #[test]
+    fn exact_boundary_needles_map_to_the_next_rank() {
+        // s = 0 gives cumulative weights exactly 1.0, 2.0, 3.0, 4.0 —
+        // representable floats, so boundary hits are exact.
+        let zipf = Zipf::new(4, 0.0);
+        // Interior of each interval.
+        assert_eq!(zipf.rank_for(0.0), 0);
+        assert_eq!(zipf.rank_for(0.5), 0);
+        assert_eq!(zipf.rank_for(1.5), 1);
+        assert_eq!(zipf.rank_for(3.5), 3);
+        // Exact boundary: [cum[r−1], cum[r]) excludes the upper bound,
+        // so landing on cum[r] starts rank r+1.
+        assert_eq!(zipf.rank_for(1.0), 1);
+        assert_eq!(zipf.rank_for(2.0), 2);
+        assert_eq!(zipf.rank_for(3.0), 3);
+        // The total weight itself is outside sample()'s exclusive range;
+        // the defensive clamp keeps even that in-bounds.
+        assert_eq!(zipf.rank_for(4.0), 3);
+        assert_eq!(zipf.rank_for(99.0), 3);
+    }
+
+    #[test]
+    fn boundary_hit_on_single_rank_sampler() {
+        let zipf = Zipf::new(1, 2.0);
+        assert_eq!(zipf.rank_for(0.0), 0);
+        assert_eq!(zipf.rank_for(1.0), 0);
     }
 }

@@ -12,7 +12,19 @@
 //! The key space is split across independent [`RwLock`]-guarded shards
 //! (selected by key hash), so concurrent readers on different shards
 //! never contend and writers only serialise within one shard.
+//!
+//! On top of the raw reports sits a second level: the
+//! [`DerivedArtefacts`] cache memoises the candidate pool, the
+//! normalised reports, and (lazily) the pairwise distance matrix —
+//! everything `Recommender::recommend` derives from a context before
+//! any user enters the picture — keyed by the context fingerprint plus
+//! the deriving configuration, so fully warm requests skip per-request
+//! normalisation too. Both levels support explicit invalidation of a
+//! superseded fingerprint (the streaming layer's epoch swap) with the
+//! eviction/invalidation traffic surfaced in [`CacheStats`].
 
+use crate::diversity::{DistanceMatrix, DistanceWeights};
+use crate::item::Item;
 use evorec_kb::{FxHashMap, FxHasher};
 use evorec_measures::{
     ContextFingerprint, EvolutionContext, MeasureId, MeasureRegistry, MeasureReport,
@@ -21,7 +33,7 @@ use parking_lot::RwLock;
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Default shard count; enough that a handful of serving threads rarely
 /// collide, small enough that an idle cache stays negligible.
@@ -45,13 +57,134 @@ struct ShardState {
 
 type Shard = RwLock<ShardState>;
 
-/// Cumulative hit/miss counters of a [`ReportCache`].
+/// Total [`DerivedArtefacts`] entries retained before FIFO eviction.
+/// Derived entries are large (a candidate pool plus every normalised
+/// report), so the bound is much tighter than the report level's; 64
+/// distinct `(step, config)` pairs is plenty for any live dashboard.
+const DEFAULT_DERIVED_CAPACITY: usize = 64;
+
+/// Everything the recommender derives from one context before any user
+/// enters the picture: the candidate item pool, the min-max-normalised
+/// reports it was drawn from, and — materialised lazily, because the
+/// group pipeline never needs it — the pairwise candidate distance
+/// matrix.
+///
+/// Pure function of `(context fingerprint, pool size, distance
+/// configuration)`, which is exactly how [`ReportCache`] keys it.
+#[derive(Debug)]
+pub struct DerivedArtefacts {
+    /// The candidate pool (top regions of every measure).
+    pub items: Vec<Item>,
+    /// The normalised reports the pool was drawn from, by measure.
+    pub reports: FxHashMap<MeasureId, MeasureReport>,
+    rank_k: usize,
+    weights: DistanceWeights,
+    distances: OnceLock<DistanceMatrix>,
+}
+
+impl DerivedArtefacts {
+    /// Bundle a candidate pool with the inputs of its distance matrix
+    /// (computed on first use).
+    pub fn new(
+        items: Vec<Item>,
+        reports: FxHashMap<MeasureId, MeasureReport>,
+        rank_k: usize,
+        weights: DistanceWeights,
+    ) -> DerivedArtefacts {
+        DerivedArtefacts {
+            items,
+            reports,
+            rank_k,
+            weights,
+            distances: OnceLock::new(),
+        }
+    }
+
+    /// The pairwise candidate distance matrix (memoised on first call).
+    pub fn distances(&self) -> &DistanceMatrix {
+        self.distances.get_or_init(|| {
+            DistanceMatrix::compute(&self.items, &self.reports, self.rank_k, self.weights)
+        })
+    }
+}
+
+/// Key of one derived-artefact entry: the evolution step plus every
+/// input the artefacts depend on — the deriving configuration (weights
+/// keyed by bit pattern: two configs derive identically iff their
+/// floats are bit-identical) *and* the measure catalogue that produced
+/// the pool (as [`registry_digest`]), so recommenders with different
+/// registries sharing one cache never serve each other's pools.
+///
+/// [`registry_digest`]: crate::cache::registry_digest
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct DerivedKey {
+    fingerprint: ContextFingerprint,
+    registry: u64,
+    pool_per_measure: usize,
+    rank_k: usize,
+    weight_bits: [u64; 3],
+}
+
+impl DerivedKey {
+    fn new(
+        fingerprint: ContextFingerprint,
+        registry: u64,
+        pool_per_measure: usize,
+        rank_k: usize,
+        weights: DistanceWeights,
+    ) -> DerivedKey {
+        DerivedKey {
+            fingerprint,
+            registry,
+            pool_per_measure,
+            rank_k,
+            weight_bits: [
+                weights.category.to_bits(),
+                weights.measure.to_bits(),
+                weights.focus.to_bits(),
+            ],
+        }
+    }
+}
+
+/// Identity digest of a measure catalogue: an order-sensitive Fx hash
+/// of its measure ids. Part of the derived-artefact key — two
+/// registries with the same ids in the same order produce the same
+/// candidate pool for a context, anything else must not collide.
+pub fn registry_digest(registry: &MeasureRegistry) -> u64 {
+    let mut h = FxHasher::default();
+    for measure in registry.all() {
+        let id = measure.id();
+        h.write_usize(id.as_str().len());
+        h.write(id.as_str().as_bytes());
+    }
+    h.finish()
+}
+
+/// The derived-artefact level's state: entry map plus FIFO insertion
+/// order for eviction.
+#[derive(Default)]
+struct DerivedState {
+    map: FxHashMap<DerivedKey, Arc<DerivedArtefacts>>,
+    order: VecDeque<DerivedKey>,
+}
+
+/// Cumulative counters of a [`ReportCache`].
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Report lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that had to compute.
+    /// Report lookups that had to compute.
     pub misses: u64,
+    /// Derived-artefact lookups answered from the cache.
+    pub derived_hits: u64,
+    /// Derived-artefact lookups that had to build.
+    pub derived_misses: u64,
+    /// Entries dropped by capacity pressure (both levels, FIFO).
+    pub evictions: u64,
+    /// Entries dropped by explicit fingerprint invalidation
+    /// ([`ReportCache::invalidate_fingerprint`], both levels).
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -82,8 +215,14 @@ impl CacheStats {
 pub struct ReportCache {
     shards: Box<[Shard]>,
     per_shard_capacity: usize,
+    derived: RwLock<DerivedState>,
+    derived_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    derived_hits: AtomicU64,
+    derived_misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl Default for ReportCache {
@@ -116,8 +255,14 @@ impl ReportCache {
         ReportCache {
             shards: (0..shards).map(|_| Shard::default()).collect(),
             per_shard_capacity: entries.max(1).div_ceil(shards),
+            derived: RwLock::new(DerivedState::default()),
+            derived_capacity: DEFAULT_DERIVED_CAPACITY,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            derived_hits: AtomicU64::new(0),
+            derived_misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -178,7 +323,9 @@ impl ReportCache {
             let Some(oldest) = guard.order.pop_front() else {
                 break;
             };
-            guard.map.remove(&oldest);
+            if guard.map.remove(&oldest).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
         let handle = Arc::new(report);
         guard.map.insert(key.clone(), Arc::clone(&handle));
@@ -216,6 +363,87 @@ impl ReportCache {
             .collect()
     }
 
+    /// The derived artefacts of the step identified by `fingerprint`
+    /// under the given measure catalogue (identified by
+    /// `registry_digest`, see [`registry_digest`]) and deriving
+    /// configuration, building (and caching) them via `build` on a
+    /// miss. Concurrent builders race benignly: the first insert wins
+    /// and later builders adopt it.
+    pub fn derived_or_insert(
+        &self,
+        fingerprint: ContextFingerprint,
+        registry_digest: u64,
+        pool_per_measure: usize,
+        rank_k: usize,
+        weights: DistanceWeights,
+        build: impl FnOnce() -> DerivedArtefacts,
+    ) -> Arc<DerivedArtefacts> {
+        let key = DerivedKey::new(
+            fingerprint,
+            registry_digest,
+            pool_per_measure,
+            rank_k,
+            weights,
+        );
+        if let Some(hit) = self.derived.read().map.get(&key) {
+            self.derived_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.derived_misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        let mut guard = self.derived.write();
+        if let Some(existing) = guard.map.get(&key) {
+            return Arc::clone(existing);
+        }
+        while guard.map.len() >= self.derived_capacity {
+            let Some(oldest) = guard.order.pop_front() else {
+                break;
+            };
+            if guard.map.remove(&oldest).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        guard.map.insert(key, Arc::clone(&built));
+        guard.order.push_back(key);
+        built
+    }
+
+    /// Drop every entry — report-level and derived-level — belonging to
+    /// the step identified by `fingerprint`, returning how many were
+    /// removed. The streaming layer calls this on epoch swap so entries
+    /// of superseded contexts stop occupying capacity (holders of the
+    /// shared `Arc`s keep their copies alive, of course).
+    ///
+    /// Best-effort, not a barrier: a reader still serving a request
+    /// against the superseded context can recompute and re-insert its
+    /// entries *after* this call. Such stragglers are never served for
+    /// a different step (keys carry the fingerprint) and capacity stays
+    /// bounded — they just occupy FIFO slots until evicted or until a
+    /// later invalidation of the same fingerprint.
+    pub fn invalidate_fingerprint(&self, fingerprint: ContextFingerprint) -> usize {
+        let mut removed = 0;
+        for shard in self.shards.iter() {
+            let mut guard = shard.write();
+            let before = guard.map.len();
+            guard.map.retain(|key, _| key.1 != fingerprint);
+            removed += before - guard.map.len();
+            guard.order.retain(|key| key.1 != fingerprint);
+        }
+        let mut derived = self.derived.write();
+        let before = derived.map.len();
+        derived.map.retain(|key, _| key.fingerprint != fingerprint);
+        removed += before - derived.map.len();
+        derived.order.retain(|key| key.fingerprint != fingerprint);
+        drop(derived);
+        self.invalidations.fetch_add(removed as u64, Ordering::Relaxed);
+        removed
+    }
+
+    /// Number of cached derived-artefact entries.
+    pub fn derived_len(&self) -> usize {
+        self.derived.read().map.len()
+    }
+
     /// Number of cached reports across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().map.len()).sum()
@@ -226,7 +454,8 @@ impl ReportCache {
         self.len() == 0
     }
 
-    /// Drop every cached report (stats are kept; see [`reset_stats`]).
+    /// Drop every cached entry, report-level and derived-level (stats
+    /// are kept; see [`reset_stats`]).
     ///
     /// [`reset_stats`]: ReportCache::reset_stats
     pub fn clear(&self) {
@@ -235,21 +464,32 @@ impl ReportCache {
             guard.map.clear();
             guard.order.clear();
         }
+        let mut derived = self.derived.write();
+        derived.map.clear();
+        derived.order.clear();
     }
 
-    /// Cumulative hit/miss counters since construction (or the last
+    /// Cumulative counters since construction (or the last
     /// [`reset_stats`](ReportCache::reset_stats)).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            derived_hits: self.derived_hits.load(Ordering::Relaxed),
+            derived_misses: self.derived_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 
-    /// Zero the hit/miss counters.
+    /// Zero every counter.
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.derived_hits.store(0, Ordering::Relaxed);
+        self.derived_misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
     }
 }
 
@@ -418,6 +658,156 @@ mod tests {
             assert_eq!(reports.len(), registry.len());
         }
         assert!(cache.len() <= cache.capacity());
+    }
+
+    /// Build the derived artefacts the way the engine does, via a
+    /// cache-backed recommender.
+    fn cached_recommender(cache: &Arc<ReportCache>) -> crate::Recommender {
+        crate::Recommender::with_cache(
+            MeasureRegistry::standard(),
+            crate::RecommenderConfig::default(),
+            Arc::clone(cache),
+        )
+    }
+
+    #[test]
+    fn derived_artefacts_are_memoised_per_fingerprint_and_config() {
+        let (vs, ctx) = world();
+        let cache = Arc::new(ReportCache::new());
+        let recommender = cached_recommender(&cache);
+        let profile = crate::UserProfile::new(crate::UserId(1), "u");
+        let _ = recommender.recommend(&ctx, &profile);
+        assert_eq!(cache.derived_len(), 1);
+        assert_eq!(cache.stats().derived_misses, 1);
+        // A rebuilt context for the same step hits the derived level.
+        let rebuilt = EvolutionContext::build(&vs, ctx.from, ctx.to);
+        let _ = recommender.recommend(&rebuilt, &profile);
+        assert_eq!(cache.derived_len(), 1);
+        assert_eq!(cache.stats().derived_hits, 1);
+        // A different config derives separately.
+        let other = crate::Recommender::with_cache(
+            MeasureRegistry::standard(),
+            crate::RecommenderConfig {
+                pool_per_measure: 3,
+                ..Default::default()
+            },
+            Arc::clone(&cache),
+        );
+        let _ = other.recommend(&ctx, &profile);
+        assert_eq!(cache.derived_len(), 2);
+    }
+
+    #[test]
+    fn derived_or_insert_first_insert_wins() {
+        let (_vs, ctx) = world();
+        let cache = ReportCache::new();
+        let weights = crate::DistanceWeights::default();
+        let digest = registry_digest(&MeasureRegistry::standard());
+        let build = || DerivedArtefacts::new(Vec::new(), FxHashMap::default(), 20, weights);
+        let first = cache.derived_or_insert(ctx.fingerprint(), digest, 5, 20, weights, build);
+        let second = cache.derived_or_insert(ctx.fingerprint(), digest, 5, 20, weights, || {
+            panic!("hit must not rebuild")
+        });
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.stats().derived_hits, 1);
+        assert_eq!(cache.stats().derived_misses, 1);
+    }
+
+    #[test]
+    fn different_registries_do_not_share_derived_entries() {
+        let (_vs, ctx) = world();
+        let cache = Arc::new(ReportCache::new());
+        let standard = crate::Recommender::with_cache(
+            MeasureRegistry::standard(),
+            crate::RecommenderConfig::default(),
+            Arc::clone(&cache),
+        );
+        let extended = crate::Recommender::with_cache(
+            MeasureRegistry::extended(),
+            crate::RecommenderConfig::default(),
+            Arc::clone(&cache),
+        );
+        let profile = crate::UserProfile::new(crate::UserId(1), "u");
+        let _ = standard.recommend(&ctx, &profile);
+        let from_shared = extended.recommend(&ctx, &profile);
+        assert_eq!(cache.derived_len(), 2, "one pool per catalogue");
+        // The collision failure mode would hand the extended
+        // recommender the standard pool, so its answer would depend on
+        // who derived first; against a fresh cache it must be the same.
+        let from_fresh = crate::Recommender::with_cache(
+            MeasureRegistry::extended(),
+            crate::RecommenderConfig::default(),
+            Arc::new(ReportCache::new()),
+        )
+        .recommend(&ctx, &profile);
+        let keys = |rec: &crate::Recommendation| {
+            rec.items
+                .iter()
+                .map(|s| (s.item.measure.as_str().to_string(), s.item.focus))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(keys(&from_shared), keys(&from_fresh));
+        assert_eq!(
+            from_shared.candidates_considered,
+            from_fresh.candidates_considered
+        );
+        // Registry digests are order-sensitive and id-sensitive.
+        assert_ne!(
+            registry_digest(&MeasureRegistry::standard()),
+            registry_digest(&MeasureRegistry::extended())
+        );
+        assert_eq!(
+            registry_digest(&MeasureRegistry::standard()),
+            registry_digest(&MeasureRegistry::standard())
+        );
+    }
+
+    #[test]
+    fn invalidate_fingerprint_drops_both_levels_and_counts() {
+        let (vs, ctx) = world();
+        let registry = MeasureRegistry::standard();
+        let cache = Arc::new(ReportCache::new());
+        let recommender = cached_recommender(&cache);
+        let profile = crate::UserProfile::new(crate::UserId(1), "u");
+        let _ = recommender.recommend(&ctx, &profile);
+        // A second step so invalidation must be selective.
+        let idle = EvolutionContext::build(&vs, ctx.from, ctx.from);
+        let _ = recommender.recommend(&idle, &profile);
+        let report_entries = cache.len();
+        assert_eq!(cache.derived_len(), 2);
+
+        let removed = cache.invalidate_fingerprint(ctx.fingerprint());
+        assert_eq!(removed, registry.len() + 1, "one step's reports + derived");
+        assert_eq!(cache.len(), report_entries - registry.len());
+        assert_eq!(cache.derived_len(), 1);
+        assert_eq!(cache.stats().invalidations, removed as u64);
+        // The surviving step still hits; the invalidated one misses.
+        cache.reset_stats();
+        let _ = cache.reports_for(&registry, &idle);
+        assert_eq!(cache.stats().misses, 0);
+        let _ = cache.reports_for(&registry, &ctx);
+        assert_eq!(cache.stats().misses, registry.len() as u64);
+        // Invalidating a fingerprint the cache never saw is a no-op.
+        let unknown = ContextFingerprint {
+            from: ctx.from,
+            to: ctx.to,
+            digest: !ctx.fingerprint().digest,
+        };
+        assert_eq!(cache.invalidate_fingerprint(unknown), 0);
+    }
+
+    #[test]
+    fn evictions_are_counted() {
+        let (vs, ctx) = world();
+        let registry = MeasureRegistry::standard();
+        let cache = ReportCache::with_shards_and_capacity(1, registry.len());
+        let _ = cache.reports_for(&registry, &ctx);
+        assert_eq!(cache.stats().evictions, 0);
+        let idle = EvolutionContext::build(&vs, ctx.from, ctx.from);
+        let _ = cache.reports_for(&registry, &idle);
+        assert_eq!(cache.stats().evictions, registry.len() as u64);
+        cache.reset_stats();
+        assert_eq!(cache.stats(), CacheStats::default());
     }
 
     #[test]

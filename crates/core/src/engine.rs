@@ -2,7 +2,7 @@
 //! / fairness selection, plus the amortised serving layer (report cache
 //! + batch fan-out) that answers many requests against one context.
 
-use crate::cache::{CacheStats, ReportCache};
+use crate::cache::{CacheStats, DerivedArtefacts, ReportCache};
 use crate::diversity::{select_mmr, swap_refine, DistanceMatrix, DistanceWeights};
 use crate::fairness::{
     fairness_report, select_for_group, FairnessReport, GroupAggregation, RelevanceMatrix,
@@ -92,6 +92,7 @@ pub struct GroupRecommendation {
 /// evaluation entirely.
 pub struct Recommender {
     registry: MeasureRegistry,
+    registry_digest: u64,
     config: RecommenderConfig,
     cache: Option<Arc<ReportCache>>,
 }
@@ -99,8 +100,10 @@ pub struct Recommender {
 impl Recommender {
     /// Build with an explicit configuration (uncached).
     pub fn new(registry: MeasureRegistry, config: RecommenderConfig) -> Recommender {
+        let registry_digest = crate::cache::registry_digest(&registry);
         Recommender {
             registry,
+            registry_digest,
             config,
             cache: None,
         }
@@ -119,11 +122,9 @@ impl Recommender {
         config: RecommenderConfig,
         cache: Arc<ReportCache>,
     ) -> Recommender {
-        Recommender {
-            registry,
-            config,
-            cache: Some(cache),
-        }
+        let mut recommender = Recommender::new(registry, config);
+        recommender.cache = Some(cache);
+        recommender
     }
 
     /// The measure catalogue.
@@ -158,6 +159,34 @@ impl Recommender {
                 .into_iter()
                 .map(Arc::new)
                 .collect(),
+        }
+    }
+
+    /// The per-context derived artefacts — candidate pool, normalised
+    /// reports, lazy distance matrix — served from the cache's second
+    /// level when one is attached (they are pure functions of the
+    /// context fingerprint and the deriving configuration), built fresh
+    /// otherwise.
+    fn derived(&self, ctx: &EvolutionContext) -> Arc<DerivedArtefacts> {
+        let build = || {
+            let (items, reports) = self.candidates(ctx);
+            DerivedArtefacts::new(
+                items,
+                reports,
+                self.config.rank_k_for_distance,
+                self.config.distance_weights,
+            )
+        };
+        match &self.cache {
+            Some(cache) => cache.derived_or_insert(
+                ctx.fingerprint(),
+                self.registry_digest,
+                self.config.pool_per_measure,
+                self.config.rank_k_for_distance,
+                self.config.distance_weights,
+                build,
+            ),
+            None => Arc::new(build()),
         }
     }
 
@@ -264,21 +293,15 @@ impl Recommender {
 
     /// Recommend `top_k` items for one user.
     pub fn recommend(&self, ctx: &EvolutionContext, profile: &UserProfile) -> Recommendation {
-        let (items, reports) = self.candidates(ctx);
-        if items.is_empty() {
+        let derived = self.derived(ctx);
+        if derived.items.is_empty() {
             return Recommendation {
                 items: Vec::new(),
                 candidates_considered: 0,
                 cache_stats: self.cache_snapshot(),
             };
         }
-        let distances = DistanceMatrix::compute(
-            &items,
-            &reports,
-            self.config.rank_k_for_distance,
-            self.config.distance_weights,
-        );
-        self.select_for_profile(ctx, profile, &items, &distances)
+        self.select_for_profile(ctx, profile, &derived.items, derived.distances())
     }
 
     /// Answer many profiles against one context: the candidate pool and
@@ -366,7 +389,8 @@ impl Recommender {
         profiles: &[UserProfile],
         threads: usize,
     ) -> GroupRecommendation {
-        let (items, _reports) = self.candidates(ctx);
+        let derived = self.derived(ctx);
+        let items = &derived.items;
         if items.is_empty() || profiles.is_empty() {
             return GroupRecommendation {
                 items: Vec::new(),
@@ -376,7 +400,7 @@ impl Recommender {
                 cache_stats: self.cache_snapshot(),
             };
         }
-        let rows = self.effective_rows(ctx, profiles, &items, threads);
+        let rows = self.effective_rows(ctx, profiles, items, threads);
         let matrix = RelevanceMatrix::new(rows);
         let selection = select_for_group(&matrix, self.config.top_k, self.config.group_aggregation);
         let fairness = fairness_report(&matrix, &selection);
@@ -496,8 +520,8 @@ impl BatchRecommender<'_> {
         if profiles.is_empty() {
             return Vec::new();
         }
-        let (items, reports) = r.candidates(ctx);
-        if items.is_empty() {
+        let derived = r.derived(ctx);
+        if derived.items.is_empty() {
             return profiles
                 .iter()
                 .map(|_| Recommendation {
@@ -507,14 +531,9 @@ impl BatchRecommender<'_> {
                 })
                 .collect();
         }
-        let distances = DistanceMatrix::compute(
-            &items,
-            &reports,
-            r.config.rank_k_for_distance,
-            r.config.distance_weights,
-        );
+        let distances = derived.distances();
         fan_out(profiles, self.threads, |p| {
-            r.select_for_profile(ctx, p, &items, &distances)
+            r.select_for_profile(ctx, p, &derived.items, distances)
         })
     }
 
@@ -766,11 +785,14 @@ mod tests {
         };
         assert_eq!(keys(&baseline), keys(&cold));
         assert_eq!(keys(&baseline), keys(&warm));
-        // Diagnostics show the second request was fully served warm.
+        // Diagnostics show the second request was fully served warm: it
+        // short-circuits at the derived level, never re-reading the
+        // report level, let alone recomputing a measure.
         let stats = warm.cache_stats.expect("cached run reports stats");
         let catalogue = cached.registry().len() as u64;
         assert_eq!(stats.misses, catalogue, "only the cold pass missed");
-        assert!(stats.hits >= catalogue, "warm pass hit every measure");
+        assert_eq!(stats.derived_misses, 1, "only the cold pass derived");
+        assert!(stats.derived_hits >= 1, "warm pass hit the derived level");
     }
 
     #[test]

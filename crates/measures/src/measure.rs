@@ -2,6 +2,7 @@
 
 use crate::context::EvolutionContext;
 use crate::report::MeasureReport;
+use evorec_versioning::LowLevelDelta;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -117,6 +118,34 @@ pub trait EvolutionMeasure: Send + Sync {
     /// [`MeasureCost::Cheap`]; override for superlinear measures.
     fn cost(&self) -> MeasureCost {
         MeasureCost::Cheap
+    }
+
+    /// Incrementally maintain a report when the head of the evolution
+    /// step advances (streaming ingestion: the window grows from
+    /// `V_from → V_head` to `V_from → V_head'`).
+    ///
+    /// Contract (the caller guarantees it): `previous` is this measure's
+    /// report over a context sharing `ctx.from`, and `extension` is the
+    /// delta between that context's head snapshot and `ctx`'s head
+    /// snapshot — so `ctx.delta` equals the previous delta composed with
+    /// `extension`. A triple changes δ-membership between the two
+    /// windows only if it appears in `extension`, which is what lets an
+    /// implementation re-score only the O(|extension|) touched terms
+    /// instead of scanning the delta for every element (re-packing the
+    /// report itself still costs a sort over the score table).
+    ///
+    /// Returns `None` when the measure cannot update incrementally
+    /// (the default); callers must then fall back to
+    /// [`compute`](EvolutionMeasure::compute). An implementation must
+    /// return exactly what `compute(ctx)` would.
+    fn update(
+        &self,
+        previous: &MeasureReport,
+        ctx: &EvolutionContext,
+        extension: &LowLevelDelta,
+    ) -> Option<MeasureReport> {
+        let _ = (previous, ctx, extension);
+        None
     }
 }
 

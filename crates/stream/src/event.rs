@@ -1,0 +1,96 @@
+//! Triple-level change events: the unit of streaming ingestion.
+
+use evorec_kb::Triple;
+use std::sync::Arc;
+
+/// The direction of a change event.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ChangeOp {
+    /// Make the triple present in the next version.
+    Assert,
+    /// Make the triple absent from the next version.
+    Retract,
+}
+
+impl std::fmt::Display for ChangeOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ChangeOp::Assert => "+",
+            ChangeOp::Retract => "-",
+        })
+    }
+}
+
+/// One triple-level change observed at the edge of the system, tagged
+/// with who emitted it so epoch commits can capture provenance
+/// (§III(b): *who created this data item, by whom was it modified*).
+///
+/// Events carry their actor as a shared `Arc<str>` — a producer
+/// emitting millions of events clones a pointer, not a string.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChangeEvent {
+    /// Assert or retract.
+    pub op: ChangeOp,
+    /// The triple being changed.
+    pub triple: Triple,
+    /// Who emitted the event (curator, pipeline, sensor feed…).
+    pub actor: Arc<str>,
+}
+
+impl ChangeEvent {
+    /// An assertion event.
+    pub fn assert(triple: Triple, actor: impl Into<Arc<str>>) -> ChangeEvent {
+        ChangeEvent {
+            op: ChangeOp::Assert,
+            triple,
+            actor: actor.into(),
+        }
+    }
+
+    /// A retraction event.
+    pub fn retract(triple: Triple, actor: impl Into<Arc<str>>) -> ChangeEvent {
+        ChangeEvent {
+            op: ChangeOp::Retract,
+            triple,
+            actor: actor.into(),
+        }
+    }
+
+    /// `true` for [`ChangeOp::Assert`].
+    pub fn is_assert(&self) -> bool {
+        self.op == ChangeOp::Assert
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evorec_kb::TermId;
+
+    fn tr(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(
+            TermId::from_u32(s),
+            TermId::from_u32(p),
+            TermId::from_u32(o),
+        )
+    }
+
+    #[test]
+    fn constructors_tag_direction() {
+        let a = ChangeEvent::assert(tr(1, 2, 3), "alice");
+        let r = ChangeEvent::retract(tr(1, 2, 3), "bob");
+        assert!(a.is_assert());
+        assert!(!r.is_assert());
+        assert_eq!(a.op.to_string(), "+");
+        assert_eq!(r.op.to_string(), "-");
+        assert_eq!(&*a.actor, "alice");
+    }
+
+    #[test]
+    fn actor_is_shared_not_copied() {
+        let actor: Arc<str> = Arc::from("sensor-17");
+        let a = ChangeEvent::assert(tr(1, 2, 3), Arc::clone(&actor));
+        let b = ChangeEvent::retract(tr(3, 2, 1), Arc::clone(&actor));
+        assert!(Arc::ptr_eq(&a.actor, &b.actor));
+    }
+}

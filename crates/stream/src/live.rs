@@ -1,0 +1,422 @@
+//! The epoch-swapped live context: lock-light publication of freshly
+//! built [`EvolutionContext`]s to any number of readers.
+//!
+//! Readers call [`LiveContext::current`], which clones an `Arc` under a
+//! briefly held read lock — they never wait on a context rebuild,
+//! because rebuilds happen entirely *before* [`LiveContext::publish`]
+//! swaps the pointer. When a serving pair (measure registry + report
+//! cache) is attached, each publish also pre-warms the catalogue into
+//! the cache — [`MeasureCost::Heavy`] measures are the point; counting
+//! measures ride along through incremental hooks that re-score only
+//! the O(|δ|) extension-touched terms — and
+//! then invalidates the superseded fingerprint's entries, optionally on
+//! a background thread so the ingest loop never stalls on a
+//! betweenness pass.
+//!
+//! [`MeasureCost::Heavy`]: evorec_measures::MeasureCost::Heavy
+
+use evorec_core::ReportCache;
+use evorec_measures::{EvolutionContext, MeasureRegistry, MeasureReport};
+use evorec_versioning::LowLevelDelta;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A serving pair attached to a [`LiveContext`]: publishes pre-warm
+/// this registry's reports into this cache.
+#[derive(Clone)]
+pub struct ServingHandles {
+    /// The catalogue to pre-warm.
+    pub registry: Arc<MeasureRegistry>,
+    /// The cache to warm into (and invalidate superseded entries from).
+    pub cache: Arc<ReportCache>,
+}
+
+/// An atomically swapped handle to the latest published
+/// [`EvolutionContext`].
+pub struct LiveContext {
+    current: RwLock<Arc<EvolutionContext>>,
+    epoch: AtomicU64,
+    serving: Option<ServingHandles>,
+    background_warm: bool,
+    /// Serialises whole publishes (join previous warm → swap → spawn
+    /// next warm): concurrent `publish` calls would otherwise race on
+    /// `warm_worker`, detaching a live warm thread and letting a stale
+    /// epoch's warm/invalidate pass run after a newer one. Readers
+    /// never touch this lock.
+    publish_lock: Mutex<()>,
+    warm_worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl LiveContext {
+    /// A handle initially publishing `initial`, with no serving pair.
+    pub fn new(initial: Arc<EvolutionContext>) -> LiveContext {
+        LiveContext {
+            current: RwLock::new(initial),
+            epoch: AtomicU64::new(0),
+            serving: None,
+            background_warm: false,
+            publish_lock: Mutex::new(()),
+            warm_worker: Mutex::new(None),
+        }
+    }
+
+    /// Attach a serving pair: every publish pre-warms `registry`'s
+    /// reports for the fresh context into `cache` and invalidates the
+    /// superseded fingerprint. Warming runs inline by default; see
+    /// [`background_warm`](LiveContext::background_warm).
+    pub fn with_serving(
+        initial: Arc<EvolutionContext>,
+        registry: Arc<MeasureRegistry>,
+        cache: Arc<ReportCache>,
+    ) -> LiveContext {
+        LiveContext {
+            current: RwLock::new(initial),
+            epoch: AtomicU64::new(0),
+            serving: Some(ServingHandles { registry, cache }),
+            background_warm: false,
+            publish_lock: Mutex::new(()),
+            warm_worker: Mutex::new(None),
+        }
+    }
+
+    /// Run the pre-warm pass on a background thread instead of inline,
+    /// so [`publish`](LiveContext::publish) returns as soon as the
+    /// pointer is swapped. At most one warm thread is in flight: the
+    /// next publish joins it first, keeping cache traffic ordered.
+    pub fn background_warm(mut self, on: bool) -> LiveContext {
+        self.background_warm = on;
+        self
+    }
+
+    /// The latest published context. Never blocks on a rebuild or a
+    /// warm pass — only on the pointer swap itself, which is two
+    /// `Arc` moves under a write lock.
+    pub fn current(&self) -> Arc<EvolutionContext> {
+        self.current.read().clone()
+    }
+
+    /// How many times a context has been published.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publish `next` as the live context.
+    ///
+    /// `extension` is the delta between the previous context's head and
+    /// `next`'s head, when the publisher knows it (the streaming
+    /// pipeline always does): it lets measures with incremental hooks
+    /// advance their previous cached reports in O(|extension|) instead
+    /// of recomputing.
+    pub fn publish(&self, next: Arc<EvolutionContext>, extension: Option<Arc<LowLevelDelta>>) {
+        // One publish at a time: join the previous warm pass, swap,
+        // then start (or run) this epoch's warm pass, so warm and
+        // invalidation traffic hits the cache in epoch order.
+        let _serialised = self.publish_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.join_warm();
+        let previous = {
+            let mut guard = self.current.write();
+            std::mem::replace(&mut *guard, Arc::clone(&next))
+        };
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        let Some(serving) = self.serving.clone() else {
+            return;
+        };
+        let task = move || warm_and_invalidate(&serving, &previous, &next, extension.as_deref());
+        if self.background_warm {
+            *self.warm_worker.lock().unwrap_or_else(|e| e.into_inner()) =
+                Some(std::thread::spawn(task));
+        } else {
+            task();
+        }
+    }
+
+    /// Block until any in-flight background warm pass has finished
+    /// (no-op when warming runs inline). Benches and tests use this to
+    /// observe a deterministic cache state.
+    pub fn wait_for_warm(&self) {
+        self.join_warm();
+    }
+
+    fn join_warm(&self) {
+        let handle = self
+            .warm_worker
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(handle) = handle {
+            handle.join().expect("warm worker panicked");
+        }
+    }
+}
+
+impl Drop for LiveContext {
+    fn drop(&mut self) {
+        self.join_warm();
+    }
+}
+
+/// Compute (or incrementally advance) every report for `next` into the
+/// cache, then drop the superseded fingerprint's entries.
+fn warm_and_invalidate(
+    serving: &ServingHandles,
+    previous: &EvolutionContext,
+    next: &EvolutionContext,
+    extension: Option<&LowLevelDelta>,
+) {
+    let old_fingerprint = previous.fingerprint();
+    let new_fingerprint = next.fingerprint();
+    if old_fingerprint == new_fingerprint {
+        // Republishing the same step: entries are already warm.
+        return;
+    }
+    // The incremental hooks' contract requires the previous window to
+    // share the new one's origin; a publish that moves the origin
+    // (e.g. a rolling window) must recompute from scratch.
+    let extension = extension.filter(|_| previous.from == next.from);
+    // Grab the previous epoch's reports *before* invalidating them —
+    // they are the inputs of the incremental hooks.
+    let previous_reports: Vec<Option<Arc<MeasureReport>>> = serving
+        .registry
+        .all()
+        .iter()
+        .map(|m| serving.cache.get(&m.id(), old_fingerprint))
+        .collect();
+    for (measure, prev) in serving.registry.all().iter().zip(previous_reports) {
+        let report = prev
+            .as_deref()
+            .zip(extension)
+            .and_then(|(p, ext)| measure.update(p, next, ext))
+            .unwrap_or_else(|| measure.compute(next));
+        serving.cache.insert(new_fingerprint, report);
+    }
+    serving.cache.invalidate_fingerprint(old_fingerprint);
+}
+
+impl std::fmt::Debug for LiveContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveContext")
+            .field("epoch", &self.epoch())
+            .field("fingerprint", &self.current().fingerprint())
+            .field("serving", &self.serving.is_some())
+            .field("background_warm", &self.background_warm)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evorec_kb::{Triple, TripleStore};
+    use evorec_versioning::VersionedStore;
+
+    /// A three-version store for publish sequences.
+    fn store() -> VersionedStore {
+        let mut vs = VersionedStore::new();
+        let a = vs.intern_iri("http://x/A");
+        let b = vs.intern_iri("http://x/B");
+        let c = vs.intern_iri("http://x/C");
+        let i = vs.intern_iri("http://x/i");
+        let v = *vs.vocab();
+        let mut s = TripleStore::new();
+        s.insert(Triple::new(a, v.rdfs_subclassof, b));
+        vs.commit_snapshot("v0", s.clone());
+        s.insert(Triple::new(c, v.rdfs_subclassof, b));
+        vs.commit_snapshot("v1", s.clone());
+        s.insert(Triple::new(i, v.rdf_type, c));
+        vs.commit_snapshot("v2", s);
+        vs
+    }
+
+    fn v(n: u32) -> evorec_versioning::VersionId {
+        evorec_versioning::VersionId::from_u32(n)
+    }
+
+    #[test]
+    fn current_returns_latest_published() {
+        let vs = store();
+        let first = Arc::new(EvolutionContext::build(&vs, v(0), v(1)));
+        let live = LiveContext::new(Arc::clone(&first));
+        assert_eq!(live.epoch(), 0);
+        assert!(Arc::ptr_eq(&live.current(), &first));
+        let second = Arc::new(EvolutionContext::build(&vs, v(0), v(2)));
+        live.publish(Arc::clone(&second), None);
+        assert_eq!(live.epoch(), 1);
+        assert!(Arc::ptr_eq(&live.current(), &second));
+    }
+
+    #[test]
+    fn publish_prewarms_and_invalidates() {
+        let vs = store();
+        let registry = Arc::new(MeasureRegistry::standard());
+        let cache = Arc::new(ReportCache::new());
+        let first = Arc::new(EvolutionContext::build(&vs, v(0), v(1)));
+        let live = LiveContext::with_serving(
+            Arc::clone(&first),
+            Arc::clone(&registry),
+            Arc::clone(&cache),
+        );
+        // Warm the first epoch the ordinary way.
+        let _ = cache.reports_for(&registry, &first);
+        assert_eq!(cache.len(), registry.len());
+
+        let second = Arc::new(EvolutionContext::build(&vs, v(0), v(2)));
+        let extension = vs.delta(v(1), v(2));
+        live.publish(Arc::clone(&second), Some(extension));
+        // Old fingerprint's entries replaced by the new epoch's.
+        assert_eq!(cache.len(), registry.len());
+        assert!(cache.stats().invalidations >= registry.len() as u64);
+        // Every new-epoch report is already present and correct.
+        cache.reset_stats();
+        let warm = cache.reports_for(&registry, &second);
+        assert_eq!(cache.stats().misses, 0, "publish pre-warmed everything");
+        for (report, measure) in warm.iter().zip(registry.all()) {
+            let fresh = measure.compute(&second);
+            assert_eq!(report.scores(), fresh.scores(), "{}", report.measure);
+        }
+    }
+
+    #[test]
+    fn background_warm_converges_after_wait() {
+        let vs = store();
+        let registry = Arc::new(MeasureRegistry::standard());
+        let cache = Arc::new(ReportCache::new());
+        let first = Arc::new(EvolutionContext::build(&vs, v(0), v(1)));
+        let live = LiveContext::with_serving(
+            Arc::clone(&first),
+            Arc::clone(&registry),
+            Arc::clone(&cache),
+        )
+        .background_warm(true);
+        let second = Arc::new(EvolutionContext::build(&vs, v(0), v(2)));
+        live.publish(Arc::clone(&second), Some(vs.delta(v(1), v(2))));
+        // The swap is immediately visible even while warming runs.
+        assert!(Arc::ptr_eq(&live.current(), &second));
+        live.wait_for_warm();
+        cache.reset_stats();
+        let _ = cache.reports_for(&registry, &second);
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn republishing_same_step_keeps_entries() {
+        let vs = store();
+        let registry = Arc::new(MeasureRegistry::standard());
+        let cache = Arc::new(ReportCache::new());
+        let ctx = Arc::new(EvolutionContext::build(&vs, v(0), v(1)));
+        let live = LiveContext::with_serving(
+            Arc::clone(&ctx),
+            Arc::clone(&registry),
+            Arc::clone(&cache),
+        );
+        let _ = cache.reports_for(&registry, &ctx);
+        let rebuilt = Arc::new(EvolutionContext::build(&vs, v(0), v(1)));
+        live.publish(rebuilt, None);
+        assert_eq!(cache.stats().invalidations, 0);
+        assert_eq!(cache.len(), registry.len());
+    }
+
+    #[test]
+    fn origin_change_bypasses_incremental_hooks() {
+        // The previous window v0→v1 does NOT share the new window's
+        // origin (v1→v2): even though an (irrelevant) extension is
+        // supplied, the warm pass must recompute from scratch — using
+        // the hooks here would cache wrong scores silently.
+        let vs = store();
+        let registry = Arc::new(MeasureRegistry::standard());
+        let cache = Arc::new(ReportCache::new());
+        let first = Arc::new(EvolutionContext::build(&vs, v(0), v(1)));
+        let live = LiveContext::with_serving(
+            Arc::clone(&first),
+            Arc::clone(&registry),
+            Arc::clone(&cache),
+        );
+        let _ = cache.reports_for(&registry, &first);
+        let rolled = Arc::new(EvolutionContext::build(&vs, v(1), v(2)));
+        live.publish(Arc::clone(&rolled), Some(vs.delta(v(1), v(2))));
+        let warm = cache.reports_for(&registry, &rolled);
+        for (report, measure) in warm.iter().zip(registry.all()) {
+            let fresh = measure.compute(&rolled);
+            assert_eq!(report.scores(), fresh.scores(), "{}", report.measure);
+        }
+    }
+
+    #[test]
+    fn concurrent_publishes_serialise_without_losing_warm_threads() {
+        let vs = store();
+        let registry = Arc::new(MeasureRegistry::standard());
+        let cache = Arc::new(ReportCache::new());
+        let a = Arc::new(EvolutionContext::build(&vs, v(0), v(1)));
+        let b = Arc::new(EvolutionContext::build(&vs, v(0), v(2)));
+        let live = Arc::new(
+            LiveContext::with_serving(
+                Arc::clone(&a),
+                Arc::clone(&registry),
+                Arc::clone(&cache),
+            )
+            .background_warm(true),
+        );
+        let publishers: Vec<_> = (0..4)
+            .map(|i| {
+                let live = Arc::clone(&live);
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                std::thread::spawn(move || {
+                    for round in 0..10 {
+                        let next = if (i + round) % 2 == 0 { &a } else { &b };
+                        live.publish(Arc::clone(next), None);
+                    }
+                })
+            })
+            .collect();
+        for p in publishers {
+            p.join().unwrap();
+        }
+        live.wait_for_warm();
+        assert_eq!(live.epoch(), 40);
+        // After the last warm pass only the live epoch's entries (or
+        // none, if the final publish republished the resident step and
+        // skipped work) remain — never both epochs' entries, which is
+        // what a lost warm thread running out of order would leave.
+        let resident = cache.len();
+        assert!(
+            resident == 0 || resident == registry.len(),
+            "resident {resident}: stale epoch survived invalidation"
+        );
+    }
+
+    #[test]
+    fn readers_never_observe_a_torn_context_during_publishes() {
+        let vs = store();
+        let a = Arc::new(EvolutionContext::build(&vs, v(0), v(1)));
+        let b = Arc::new(EvolutionContext::build(&vs, v(0), v(2)));
+        let expected = [a.fingerprint(), b.fingerprint()];
+        let live = Arc::new(LiveContext::new(Arc::clone(&a)));
+        let publisher = {
+            let live = Arc::clone(&live);
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            std::thread::spawn(move || {
+                for i in 0..500 {
+                    let next = if i % 2 == 0 { &b } else { &a };
+                    live.publish(Arc::clone(next), None);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let live = Arc::clone(&live);
+                std::thread::spawn(move || {
+                    for _ in 0..2000 {
+                        let ctx = live.current();
+                        assert!(expected.contains(&ctx.fingerprint()));
+                    }
+                })
+            })
+            .collect();
+        publisher.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(live.epoch(), 500);
+    }
+}

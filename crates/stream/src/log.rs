@@ -1,0 +1,348 @@
+//! The bounded, multi-producer event log feeding the ingestor.
+//!
+//! A classic bounded MPSC queue built on `std::sync::{Mutex, Condvar}`:
+//! producers [`push`](EventLog::push) and *block* when the log is full
+//! (backpressure — a slow ingestor throttles its sources instead of the
+//! log growing without bound), the consumer drains micro-batches with
+//! [`pop_batch`](EventLog::pop_batch). Closing the log wakes everyone:
+//! pushes start failing, pops drain what is left and then return empty.
+
+use crate::event::ChangeEvent;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Error returned by [`EventLog::push`] on a closed log; carries the
+/// rejected event back to the producer.
+#[derive(Debug)]
+pub struct LogClosed(pub ChangeEvent);
+
+impl std::fmt::Display for LogClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("event log is closed")
+    }
+}
+
+impl std::error::Error for LogClosed {}
+
+/// Error returned by [`EventLog::try_push`]; carries the rejected event.
+#[derive(Debug)]
+pub enum TryPushError {
+    /// The log is at capacity; retry later or use the blocking
+    /// [`EventLog::push`].
+    Full(ChangeEvent),
+    /// The log is closed; the event can never be delivered.
+    Closed(ChangeEvent),
+}
+
+impl std::fmt::Display for TryPushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TryPushError::Full(_) => "event log is full",
+            TryPushError::Closed(_) => "event log is closed",
+        })
+    }
+}
+
+impl std::error::Error for TryPushError {}
+
+/// Cumulative counters of an [`EventLog`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogStats {
+    /// Events accepted into the log.
+    pub enqueued: u64,
+    /// Events handed to the consumer.
+    pub dequeued: u64,
+    /// Largest queue depth observed.
+    pub high_water: usize,
+    /// Times a producer blocked on a full log (backpressure events).
+    pub producer_waits: u64,
+}
+
+struct LogState {
+    queue: VecDeque<ChangeEvent>,
+    closed: bool,
+    stats: LogStats,
+}
+
+/// A bounded, thread-safe, multi-producer single-consumer event queue.
+pub struct EventLog {
+    state: Mutex<LogState>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl EventLog {
+    /// A log holding at most `capacity` undelivered events (clamped to
+    /// at least 1).
+    pub fn bounded(capacity: usize) -> EventLog {
+        EventLog {
+            state: Mutex::new(LogState {
+                queue: VecDeque::new(),
+                closed: false,
+                stats: LogStats::default(),
+            }),
+            capacity: capacity.max(1),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LogState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Append an event, blocking while the log is full (backpressure).
+    /// Fails only on a closed log, handing the event back.
+    pub fn push(&self, event: ChangeEvent) -> Result<(), LogClosed> {
+        let mut state = self.lock();
+        while state.queue.len() >= self.capacity && !state.closed {
+            state.stats.producer_waits += 1;
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        if state.closed {
+            return Err(LogClosed(event));
+        }
+        state.queue.push_back(event);
+        state.stats.enqueued += 1;
+        state.stats.high_water = state.stats.high_water.max(state.queue.len());
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Append an event without blocking; fails on a full or closed log,
+    /// handing the event back either way.
+    pub fn try_push(&self, event: ChangeEvent) -> Result<(), TryPushError> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(TryPushError::Closed(event));
+        }
+        if state.queue.len() >= self.capacity {
+            return Err(TryPushError::Full(event));
+        }
+        state.queue.push_back(event);
+        state.stats.enqueued += 1;
+        state.stats.high_water = state.stats.high_water.max(state.queue.len());
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Remove up to `max` events (at least one), blocking while the log
+    /// is empty and open. Returns an empty batch only once the log is
+    /// closed *and* drained — the consumer's termination signal.
+    pub fn pop_batch(&self, max: usize) -> Vec<ChangeEvent> {
+        let max = max.max(1);
+        let mut state = self.lock();
+        while state.queue.is_empty() && !state.closed {
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        let take = state.queue.len().min(max);
+        let batch: Vec<ChangeEvent> = state.queue.drain(..take).collect();
+        state.stats.dequeued += batch.len() as u64;
+        drop(state);
+        if !batch.is_empty() {
+            self.not_full.notify_all();
+        }
+        batch
+    }
+
+    /// Remove up to `max` events without blocking (empty when none are
+    /// queued).
+    pub fn try_pop_batch(&self, max: usize) -> Vec<ChangeEvent> {
+        let mut state = self.lock();
+        let take = state.queue.len().min(max);
+        let batch: Vec<ChangeEvent> = state.queue.drain(..take).collect();
+        state.stats.dequeued += batch.len() as u64;
+        drop(state);
+        if !batch.is_empty() {
+            self.not_full.notify_all();
+        }
+        batch
+    }
+
+    /// Close the log: subsequent pushes fail, pops drain the remainder.
+    /// Wakes every blocked producer and consumer. Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// `true` once [`close`](EventLog::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Number of undelivered events.
+    pub fn len(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// `true` when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.lock().queue.is_empty()
+    }
+
+    /// The maximum number of undelivered events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> LogStats {
+        self.lock().stats
+    }
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.lock();
+        f.debug_struct("EventLog")
+            .field("capacity", &self.capacity)
+            .field("queued", &state.queue.len())
+            .field("closed", &state.closed)
+            .field("stats", &state.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evorec_kb::{TermId, Triple};
+    use std::sync::Arc;
+
+    fn ev(n: u32) -> ChangeEvent {
+        let t = TermId::from_u32(n);
+        ChangeEvent::assert(Triple::new(t, t, t), "test")
+    }
+
+    #[test]
+    fn push_pop_roundtrip_in_order() {
+        let log = EventLog::bounded(8);
+        for n in 0..5 {
+            log.push(ev(n)).unwrap();
+        }
+        assert_eq!(log.len(), 5);
+        let batch = log.pop_batch(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0], ev(0));
+        assert_eq!(batch[2], ev(2));
+        assert_eq!(log.pop_batch(10), vec![ev(3), ev(4)]);
+        let stats = log.stats();
+        assert_eq!(stats.enqueued, 5);
+        assert_eq!(stats.dequeued, 5);
+        assert_eq!(stats.high_water, 5);
+    }
+
+    #[test]
+    fn try_push_reports_full_and_closed() {
+        let log = EventLog::bounded(1);
+        log.try_push(ev(1)).unwrap();
+        match log.try_push(ev(2)) {
+            Err(TryPushError::Full(e)) => assert_eq!(e, ev(2)),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        log.close();
+        match log.try_push(ev(3)) {
+            Err(TryPushError::Closed(e)) => assert_eq!(e, ev(3)),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // The queued event is still drainable after close.
+        assert_eq!(log.pop_batch(4), vec![ev(1)]);
+        assert!(log.pop_batch(4).is_empty(), "closed + drained = empty");
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        assert_eq!(EventLog::bounded(0).capacity(), 1);
+    }
+
+    #[test]
+    fn blocked_producer_resumes_when_consumer_drains() {
+        let log = Arc::new(EventLog::bounded(2));
+        log.push(ev(0)).unwrap();
+        log.push(ev(1)).unwrap();
+        let producer = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                // Blocks until the consumer below makes room.
+                log.push(ev(2)).unwrap();
+            })
+        };
+        // Give the producer a chance to block, then drain.
+        let mut drained = Vec::new();
+        while drained.len() < 3 {
+            drained.extend(log.pop_batch(1));
+        }
+        producer.join().unwrap();
+        assert_eq!(drained, vec![ev(0), ev(1), ev(2)]);
+        assert!(log.stats().producer_waits >= 1, "backpressure engaged");
+    }
+
+    #[test]
+    fn close_unblocks_waiting_producer_with_error() {
+        let log = Arc::new(EventLog::bounded(1));
+        log.push(ev(0)).unwrap();
+        let producer = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || log.push(ev(1)))
+        };
+        // Let it block, then close without draining.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        log.close();
+        let result = producer.join().unwrap();
+        assert!(result.is_err(), "push on closed log fails");
+        assert_eq!(log.len(), 1, "only the first event made it in");
+    }
+
+    #[test]
+    fn close_unblocks_waiting_consumer() {
+        let log = Arc::new(EventLog::bounded(4));
+        let consumer = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || log.pop_batch(4))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        log.close();
+        assert!(consumer.join().unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let log = Arc::new(EventLog::bounded(4));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for n in 0..50 {
+                        log.push(ev(p * 100 + n)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let mut seen = Vec::new();
+        while seen.len() < 200 {
+            seen.extend(log.pop_batch(16));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        seen.sort_unstable_by_key(|e| e.triple.s);
+        let expected: Vec<u32> = (0..4).flat_map(|p| (0..50).map(move |n| p * 100 + n)).collect();
+        let got: Vec<u32> = seen.iter().map(|e| e.triple.s.as_u32()).collect();
+        assert_eq!(got, {
+            let mut e = expected;
+            e.sort_unstable();
+            e
+        });
+    }
+}

@@ -1,0 +1,282 @@
+//! The end-to-end streaming pipeline: event log → ingestor → live
+//! context, on a dedicated worker thread.
+//!
+//! Producers push [`ChangeEvent`]s into the pipeline's bounded
+//! [`EventLog`] (blocking when the ingestor falls behind —
+//! backpressure, not unbounded queueing). The worker drains
+//! micro-batches, folds them into the [`Ingestor`], and commits an
+//! epoch whenever `max_batch` events are pending or the log runs dry;
+//! each committed epoch rebuilds the [`EvolutionContext`] spanning
+//! `origin → head` and publishes it through the [`LiveContext`], so
+//! readers always see a complete, fingerprinted context and never wait
+//! on a rebuild.
+
+use crate::event::ChangeEvent;
+use crate::ingest::Ingestor;
+use crate::live::LiveContext;
+use crate::log::EventLog;
+use evorec_core::ReportCache;
+use evorec_measures::{EvolutionContext, MeasureRegistry};
+use evorec_versioning::VersionId;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Options of [`StreamPipeline::spawn`].
+#[derive(Clone, Default)]
+pub struct PipelineOptions {
+    /// Capacity of the event log (0 → `4 × max_batch`).
+    pub channel_capacity: usize,
+    /// Context origin: published contexts span `origin → head`.
+    /// Defaults to the ingestor's head at spawn time (so the first
+    /// published context is the idle step `head → head`).
+    pub origin: Option<VersionId>,
+    /// Serving pair handed to the [`LiveContext`]: publishes pre-warm
+    /// this registry into this cache and invalidate superseded epochs.
+    pub serving: Option<(Arc<MeasureRegistry>, Arc<ReportCache>)>,
+    /// Run the pre-warm pass on a background thread (see
+    /// [`LiveContext::background_warm`]).
+    pub background_warm: bool,
+}
+
+/// A running ingestion pipeline. Dropping it without
+/// [`shutdown`](StreamPipeline::shutdown) closes the log and joins the
+/// worker.
+pub struct StreamPipeline {
+    log: Arc<EventLog>,
+    live: Arc<LiveContext>,
+    worker: Option<JoinHandle<Ingestor>>,
+}
+
+impl StreamPipeline {
+    /// Start the worker thread over `ingestor`, whose store must
+    /// already hold at least one version (seed it via
+    /// [`Ingestor::seeded`] or commit a first epoch by hand) — the
+    /// initial live context is built from it before any event flows.
+    ///
+    /// # Panics
+    /// Panics if the ingestor's history is empty, or if
+    /// `options.origin` names an unknown version.
+    pub fn spawn(ingestor: Ingestor, options: PipelineOptions) -> StreamPipeline {
+        let head = ingestor
+            .head()
+            .expect("pipeline needs a seeded history for its initial context");
+        let origin = options.origin.unwrap_or(head);
+        assert!(
+            ingestor.store().try_snapshot(origin).is_some(),
+            "origin {origin} is not a committed version"
+        );
+        let max_batch = ingestor.config().max_batch.max(1);
+        let capacity = if options.channel_capacity == 0 {
+            max_batch * 4
+        } else {
+            options.channel_capacity
+        };
+        let initial = Arc::new(EvolutionContext::build(ingestor.store(), origin, head));
+        let live = Arc::new(match options.serving {
+            Some((registry, cache)) => LiveContext::with_serving(initial, registry, cache)
+                .background_warm(options.background_warm),
+            None => LiveContext::new(initial),
+        });
+        let log = Arc::new(EventLog::bounded(capacity));
+        let worker = {
+            let log = Arc::clone(&log);
+            let live = Arc::clone(&live);
+            std::thread::spawn(move || ingest_loop(ingestor, &log, &live, origin, max_batch))
+        };
+        StreamPipeline {
+            log,
+            live,
+            worker: Some(worker),
+        }
+    }
+
+    /// The pipeline's event log; clone the `Arc` into every producer.
+    pub fn log(&self) -> &Arc<EventLog> {
+        &self.log
+    }
+
+    /// The live context handle readers serve from.
+    pub fn live(&self) -> &Arc<LiveContext> {
+        &self.live
+    }
+
+    /// Push one event (convenience for single-producer callers);
+    /// blocks under backpressure, fails once the pipeline is shut down.
+    pub fn send(&self, event: ChangeEvent) -> Result<(), crate::log::LogClosed> {
+        self.log.push(event)
+    }
+
+    /// Close the log, drain every queued event into final epochs, join
+    /// the worker, and hand back the ingestor (history + ledger).
+    pub fn shutdown(mut self) -> Ingestor {
+        self.log.close();
+        let worker = self.worker.take().expect("worker present until shutdown");
+        let ingestor = worker.join().expect("ingest worker panicked");
+        self.live.wait_for_warm();
+        ingestor
+    }
+}
+
+impl Drop for StreamPipeline {
+    fn drop(&mut self) {
+        self.log.close();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The worker body: drain → ingest → commit/publish until the log is
+/// closed and empty, then flush whatever is still pending.
+fn ingest_loop(
+    mut ingestor: Ingestor,
+    log: &EventLog,
+    live: &LiveContext,
+    origin: VersionId,
+    max_batch: usize,
+) -> Ingestor {
+    loop {
+        let batch = log.pop_batch(max_batch);
+        let drained = batch.is_empty();
+        ingestor.ingest_all(batch);
+        if drained || ingestor.pending_events() >= max_batch || log.is_empty() {
+            commit_and_publish(&mut ingestor, live, origin);
+        }
+        if drained {
+            return ingestor;
+        }
+    }
+}
+
+fn commit_and_publish(ingestor: &mut Ingestor, live: &LiveContext, origin: VersionId) {
+    if let Some(commit) = ingestor.commit_epoch() {
+        let ctx = Arc::new(EvolutionContext::build(
+            ingestor.store(),
+            origin,
+            commit.version,
+        ));
+        live.publish(ctx, Some(commit.delta));
+    }
+}
+
+impl std::fmt::Debug for StreamPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamPipeline")
+            .field("log", &self.log)
+            .field("live", &self.live)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::IngestorConfig;
+    use evorec_kb::{Triple, TripleStore};
+
+    /// Seed a store whose base has one subclass edge, interned so the
+    /// vocab ids line up with hand-rolled triples.
+    fn seeded() -> (Ingestor, Triple, Triple) {
+        let mut vs = VersionedStoreFixture::new();
+        let edge = vs.subclass_edge("A", "B");
+        let typing = vs.typing("i", "A");
+        let base = TripleStore::from_triples([edge]);
+        let ingestor = Ingestor::seeded(base, "fixture", IngestorConfig {
+            max_batch: 4,
+            ..Default::default()
+        });
+        (ingestor, edge, typing)
+    }
+
+    /// Tiny helper interning IRIs through a scratch store so tests can
+    /// mint vocabulary-consistent triples.
+    struct VersionedStoreFixture {
+        store: evorec_versioning::VersionedStore,
+    }
+
+    impl VersionedStoreFixture {
+        fn new() -> Self {
+            VersionedStoreFixture {
+                store: evorec_versioning::VersionedStore::new(),
+            }
+        }
+
+        fn subclass_edge(&mut self, a: &str, b: &str) -> Triple {
+            let s = self.store.intern_iri(format!("http://x/{a}"));
+            let o = self.store.intern_iri(format!("http://x/{b}"));
+            Triple::new(s, self.store.vocab().rdfs_subclassof, o)
+        }
+
+        fn typing(&mut self, inst: &str, class: &str) -> Triple {
+            let s = self.store.intern_iri(format!("http://x/{inst}"));
+            let o = self.store.intern_iri(format!("http://x/{class}"));
+            Triple::new(s, self.store.vocab().rdf_type, o)
+        }
+    }
+
+    #[test]
+    fn events_flow_to_published_contexts() {
+        let (ingestor, _edge, typing) = seeded();
+        let origin = ingestor.head().unwrap();
+        let pipeline = StreamPipeline::spawn(ingestor, PipelineOptions::default());
+        assert_eq!(pipeline.live().current().from, origin);
+        pipeline.send(ChangeEvent::assert(typing, "curator")).unwrap();
+        let ingestor = pipeline.shutdown();
+        assert_eq!(ingestor.store().version_count(), 2);
+        assert!(ingestor
+            .store()
+            .snapshot(ingestor.head().unwrap())
+            .contains(&typing));
+        assert_eq!(ingestor.stats().epochs, 1);
+    }
+
+    #[test]
+    fn live_context_advances_with_epochs() {
+        let (ingestor, _edge, typing) = seeded();
+        let pipeline = StreamPipeline::spawn(ingestor, PipelineOptions::default());
+        let live = Arc::clone(pipeline.live());
+        let before = live.epoch();
+        pipeline.send(ChangeEvent::assert(typing, "curator")).unwrap();
+        // Wait for the publish (bounded spin; the worker commits as
+        // soon as the log runs dry).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while live.epoch() == before && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(live.epoch() > before, "epoch advanced while running");
+        let ctx = live.current();
+        assert!(ctx.delta.added.contains(&typing));
+        drop(pipeline);
+    }
+
+    #[test]
+    fn shutdown_flushes_partial_batches() {
+        let (mut ingestor, _edge, typing) = seeded();
+        ingestor = {
+            // max_batch 1000: nothing would commit on size alone.
+            let (store, _ledger) = ingestor.into_parts();
+            Ingestor::from_store(store, IngestorConfig {
+                max_batch: 1000,
+                ..Default::default()
+            })
+        };
+        let pipeline = StreamPipeline::spawn(ingestor, PipelineOptions::default());
+        pipeline.send(ChangeEvent::assert(typing, "curator")).unwrap();
+        let ingestor = pipeline.shutdown();
+        assert!(ingestor
+            .store()
+            .snapshot(ingestor.head().unwrap())
+            .contains(&typing), "pending events flushed at shutdown");
+    }
+
+    #[test]
+    fn spawn_rejects_empty_history() {
+        let result = std::panic::catch_unwind(|| {
+            StreamPipeline::spawn(
+                Ingestor::new(IngestorConfig::default()),
+                PipelineOptions::default(),
+            )
+        });
+        assert!(result.is_err());
+    }
+}

@@ -6,6 +6,8 @@
 //! sources the paper's introduction motivates: curated knowledge bases,
 //! social feeds, road-sensor streams, and (sensitive) clinical records.
 
+pub mod streamed;
+
 use crate::evolution_gen::{Scenario, ScenarioOutcome};
 use crate::profile_gen::{
     generate_feeds, generate_population, Population, PopulationConfig,

@@ -1,0 +1,137 @@
+//! Replay workloads as event streams.
+//!
+//! Each preset of [`workload`](crate::workload) builds its evolution
+//! history in batch (whole snapshots committed per scenario step). The
+//! adapters here re-read that history as a sequence of triple-level
+//! [`ChangeEvent`]s — removals before additions, each side in
+//! deterministic triple order — so the streaming pipeline can be
+//! exercised, benchmarked, and property-tested against the exact same
+//! worlds the batch experiments use: streaming a workload through an
+//! [`Ingestor`] seeded with its base snapshot must reproduce the same
+//! snapshots, deltas, and context fingerprints as the batch build.
+
+use crate::workload::Workload;
+use evorec_kb::Triple;
+use evorec_stream::{ChangeEvent, EventLog, Ingestor, IngestorConfig};
+use evorec_versioning::{VersionId, VersionedStore};
+use std::sync::Arc;
+
+/// The events of one evolution step `from → to`: every removed triple
+/// (retractions first, ascending), then every added triple (ascending).
+pub fn step_events(
+    store: &VersionedStore,
+    from: VersionId,
+    to: VersionId,
+    actor: impl Into<Arc<str>>,
+) -> Vec<ChangeEvent> {
+    let actor: Arc<str> = actor.into();
+    let delta = store.delta(from, to);
+    let mut removed: Vec<Triple> = delta.removed.iter().collect();
+    removed.sort_unstable();
+    let mut added: Vec<Triple> = delta.added.iter().collect();
+    added.sort_unstable();
+    removed
+        .into_iter()
+        .map(|t| ChangeEvent::retract(t, Arc::clone(&actor)))
+        .chain(
+            added
+                .into_iter()
+                .map(|t| ChangeEvent::assert(t, Arc::clone(&actor))),
+        )
+        .collect()
+}
+
+/// One event batch per evolution step of `workload`, oldest step first
+/// (consecutive version pairs from the base to the head). Events are
+/// attributed to the workload's name.
+pub fn replay(workload: &Workload) -> Vec<Vec<ChangeEvent>> {
+    let store = &workload.kb.store;
+    let head = workload.head();
+    let mut steps = Vec::new();
+    let mut from = workload.base();
+    while from < head {
+        let to = VersionId::from_u32(from.as_u32() + 1);
+        steps.push(step_events(store, from, to, workload.name));
+        from = to;
+    }
+    steps
+}
+
+/// An [`Ingestor`] over a fresh history seeded with `workload`'s base
+/// snapshot committed as V0 — term ids line up with the workload's
+/// store (both intern the core vocabulary first and events carry the
+/// workload's ids), so replaying [`replay`]'s batches (one
+/// `commit_epoch` per batch) reproduces the workload's versions,
+/// snapshot for snapshot and fingerprint for fingerprint.
+pub fn seeded_ingestor(workload: &Workload, config: IngestorConfig) -> Ingestor {
+    Ingestor::seeded(
+        workload.kb.store.snapshot(workload.base()).clone(),
+        workload.name,
+        config,
+    )
+}
+
+/// Push every evolution step of `workload` into `log`, in order,
+/// blocking under backpressure. Returns the number of events pushed.
+///
+/// # Panics
+/// Panics if the log is closed while events remain.
+pub fn stream_into(workload: &Workload, log: &EventLog) -> usize {
+    let mut pushed = 0;
+    for batch in replay(workload) {
+        for event in batch {
+            log.push(event).expect("log closed mid-replay");
+            pushed += 1;
+        }
+    }
+    pushed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::curated_kb;
+
+    #[test]
+    fn replay_covers_every_step_with_net_changes() {
+        let w = curated_kb(40, 7);
+        let steps = replay(&w);
+        assert_eq!(steps.len(), w.outcomes.len());
+        for (events, outcome) in steps.iter().zip(&w.outcomes) {
+            let asserts = events.iter().filter(|e| e.is_assert()).count();
+            let retracts = events.len() - asserts;
+            assert_eq!(asserts, outcome.added);
+            assert_eq!(retracts, outcome.removed);
+            assert!(events.iter().all(|e| &*e.actor == w.name));
+        }
+    }
+
+    #[test]
+    fn streamed_replay_reproduces_batch_snapshots() {
+        let w = curated_kb(40, 8);
+        let mut ingestor = seeded_ingestor(&w, IngestorConfig::default());
+        for batch in replay(&w) {
+            ingestor.ingest_all(batch);
+            ingestor.commit_epoch();
+        }
+        assert_eq!(
+            ingestor.store().version_count(),
+            w.kb.store.version_count()
+        );
+        let head = w.head();
+        assert_eq!(ingestor.store().snapshot(head), w.kb.store.snapshot(head));
+        assert_eq!(ingestor.stats().coalesced, 0, "deltas never self-cancel");
+    }
+
+    #[test]
+    fn stream_into_delivers_everything() {
+        let w = curated_kb(30, 9);
+        let log = EventLog::bounded(100_000);
+        let pushed = stream_into(&w, &log);
+        assert_eq!(pushed as u64, log.stats().enqueued);
+        assert_eq!(
+            pushed,
+            replay(&w).iter().map(Vec::len).sum::<usize>()
+        );
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`graph`] | `evorec-graph` | betweenness, bridging centrality, PPR |
 //! | [`measures`] | `evorec-measures` | the §II evolution-measure catalogue |
 //! | [`core`] | `evorec-core` | the §III recommender (this paper's contribution) |
+//! | [`stream`] | `evorec-stream` | streaming ingestion: event log, micro-batch epochs, live contexts |
 //! | [`synth`] | `evorec-synth` | synthetic KB / evolution / population workloads |
 //!
 //! ## Quickstart
@@ -45,5 +46,6 @@ pub use evorec_core as core;
 pub use evorec_graph as graph;
 pub use evorec_kb as kb;
 pub use evorec_measures as measures;
+pub use evorec_stream as stream;
 pub use evorec_synth as synth;
 pub use evorec_versioning as versioning;

@@ -32,7 +32,7 @@ use evorec_measures::{
 use parking_lot::RwLock;
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Default shard count; enough that a handful of serving threads rarely
@@ -169,8 +169,29 @@ struct DerivedState {
     order: VecDeque<DerivedKey>,
 }
 
+/// Identifier of one registered cache *lineage* — an independent
+/// consumer (e.g. one serving window) whose epoch swaps must not evict
+/// entries another lineage still serves. Obtained from
+/// [`ReportCache::register_lineage`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LineageId(usize);
+
+/// Per-lineage counters surfaced in [`CacheStats::lineages`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LineageStats {
+    /// The label the lineage registered under.
+    pub label: String,
+    /// Report lookups that hit while landing on this lineage's claimed
+    /// fingerprint (a fingerprint claimed by several lineages credits
+    /// each of them).
+    pub hits: u64,
+    /// Entries dropped by this lineage's scoped invalidations
+    /// ([`ReportCache::publish_lineage`]).
+    pub invalidations: u64,
+}
+
 /// Cumulative counters of a [`ReportCache`].
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Report lookups answered from the cache.
     pub hits: u64,
@@ -183,8 +204,12 @@ pub struct CacheStats {
     /// Entries dropped by capacity pressure (both levels, FIFO).
     pub evictions: u64,
     /// Entries dropped by explicit fingerprint invalidation
-    /// ([`ReportCache::invalidate_fingerprint`], both levels).
+    /// ([`ReportCache::invalidate_fingerprint`] and
+    /// [`ReportCache::publish_lineage`], both levels).
     pub invalidations: u64,
+    /// Per-lineage counters, registration order (empty when no lineage
+    /// is registered — the single-consumer setups).
+    pub lineages: Vec<LineageStats>,
 }
 
 impl CacheStats {
@@ -217,11 +242,23 @@ pub struct ReportCache {
     per_shard_capacity: usize,
     derived: RwLock<DerivedState>,
     derived_capacity: usize,
+    lineages: RwLock<Vec<LineageState>>,
+    has_lineages: AtomicBool,
     hits: AtomicU64,
     misses: AtomicU64,
     derived_hits: AtomicU64,
     derived_misses: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// One registered lineage: its label, the fingerprint it currently
+/// serves, and counters (atomic so the hit path credits under a read
+/// lock).
+struct LineageState {
+    label: String,
+    claimed: Option<ContextFingerprint>,
+    hits: AtomicU64,
     invalidations: AtomicU64,
 }
 
@@ -257,6 +294,8 @@ impl ReportCache {
             per_shard_capacity: entries.max(1).div_ceil(shards),
             derived: RwLock::new(DerivedState::default()),
             derived_capacity: DEFAULT_DERIVED_CAPACITY,
+            lineages: RwLock::new(Vec::new()),
+            has_lineages: AtomicBool::new(false),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             derived_hits: AtomicU64::new(0),
@@ -295,11 +334,91 @@ impl ReportCache {
         match found {
             Some(report) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.credit_lineage_hit(fingerprint);
                 Some(report)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
+            }
+        }
+    }
+
+    /// Register an independent consumer — a serving window, a pipeline
+    /// — whose epoch swaps must be scoped to its own lineage. Returns
+    /// the id used with [`claim_lineage`](ReportCache::claim_lineage)
+    /// and [`publish_lineage`](ReportCache::publish_lineage).
+    pub fn register_lineage(&self, label: impl Into<String>) -> LineageId {
+        let mut guard = self.lineages.write();
+        guard.push(LineageState {
+            label: label.into(),
+            claimed: None,
+            hits: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        });
+        self.has_lineages.store(true, Ordering::Release);
+        LineageId(guard.len() - 1)
+    }
+
+    /// Record that `lineage` currently serves the step identified by
+    /// `fingerprint` (without invalidating anything) — the initial
+    /// claim before the first epoch swap.
+    ///
+    /// # Panics
+    /// Panics if `lineage` was not registered with this cache.
+    pub fn claim_lineage(&self, lineage: LineageId, fingerprint: ContextFingerprint) {
+        self.lineages.write()[lineage.0].claimed = Some(fingerprint);
+    }
+
+    /// An epoch swap scoped to one lineage: move `lineage`'s claim from
+    /// `superseded` to `fresh`, then drop `superseded`'s entries (both
+    /// levels) **only if no other lineage still claims it** — the
+    /// shared-cache safety multi-window serving needs: one window's
+    /// swap never evicts the artefacts another window still serves.
+    /// Returns how many entries were removed (0 when the fingerprint
+    /// survives under another claim, or when `superseded == fresh`).
+    ///
+    /// # Panics
+    /// Panics if `lineage` was not registered with this cache.
+    pub fn publish_lineage(
+        &self,
+        lineage: LineageId,
+        superseded: ContextFingerprint,
+        fresh: ContextFingerprint,
+    ) -> usize {
+        // The write lock is held across the eviction so a concurrent
+        // claim of `superseded` cannot slip between the check and the
+        // removal.
+        let mut guard = self.lineages.write();
+        guard[lineage.0].claimed = Some(fresh);
+        if superseded == fresh {
+            return 0;
+        }
+        if guard.iter().any(|s| s.claimed == Some(superseded)) {
+            return 0;
+        }
+        let removed = self.invalidate_fingerprint(superseded);
+        guard[lineage.0]
+            .invalidations
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        removed
+    }
+
+    /// The fingerprint `lineage` currently claims, if any.
+    pub fn lineage_claim(&self, lineage: LineageId) -> Option<ContextFingerprint> {
+        self.lineages.read().get(lineage.0).and_then(|s| s.claimed)
+    }
+
+    /// Credit a report-level hit on `fingerprint` to every lineage
+    /// currently claiming it. No-op (one relaxed load) while no lineage
+    /// is registered, so single-consumer setups pay nothing.
+    fn credit_lineage_hit(&self, fingerprint: ContextFingerprint) {
+        if !self.has_lineages.load(Ordering::Acquire) {
+            return;
+        }
+        for state in self.lineages.read().iter() {
+            if state.claimed == Some(fingerprint) {
+                state.hits.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -479,10 +598,21 @@ impl ReportCache {
             derived_misses: self.derived_misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            lineages: self
+                .lineages
+                .read()
+                .iter()
+                .map(|s| LineageStats {
+                    label: s.label.clone(),
+                    hits: s.hits.load(Ordering::Relaxed),
+                    invalidations: s.invalidations.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
     }
 
-    /// Zero every counter.
+    /// Zero every counter, the per-lineage ones included (lineage
+    /// registrations and claims are kept).
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
@@ -490,6 +620,10 @@ impl ReportCache {
         self.derived_misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
         self.invalidations.store(0, Ordering::Relaxed);
+        for state in self.lineages.read().iter() {
+            state.hits.store(0, Ordering::Relaxed);
+            state.invalidations.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -794,6 +928,80 @@ mod tests {
             digest: !ctx.fingerprint().digest,
         };
         assert_eq!(cache.invalidate_fingerprint(unknown), 0);
+    }
+
+    #[test]
+    fn lineage_scoped_invalidation_spares_shared_fingerprints() {
+        let (vs, ctx) = world();
+        let registry = MeasureRegistry::standard();
+        let cache = Arc::new(ReportCache::new());
+        let recommender = cached_recommender(&cache);
+        let profile = crate::UserProfile::new(crate::UserId(1), "u");
+
+        let a = cache.register_lineage("window-a");
+        let b = cache.register_lineage("window-b");
+        let shared = ctx.fingerprint();
+        cache.claim_lineage(a, shared);
+        cache.claim_lineage(b, shared);
+        assert_eq!(cache.lineage_claim(a), Some(shared));
+
+        // Warm both levels for the shared step.
+        let _ = recommender.recommend(&ctx, &profile);
+        let reports = cache.len();
+        assert_eq!(cache.derived_len(), 1);
+
+        // A advances to a new step; B still claims the old one, so
+        // nothing is evicted — B's derived artefacts stay resident.
+        let idle = EvolutionContext::build(&vs, ctx.from, ctx.from);
+        assert_eq!(cache.publish_lineage(a, shared, idle.fingerprint()), 0);
+        assert_eq!(cache.len(), reports);
+        assert_eq!(cache.derived_len(), 1);
+
+        // B releases the step too: now both levels drop.
+        let removed = cache.publish_lineage(b, shared, idle.fingerprint());
+        assert_eq!(removed, registry.len() + 1);
+        assert_eq!(cache.derived_len(), 0);
+
+        // Counters: the eviction was credited to B's lineage, and a
+        // republish of the same step is a no-op.
+        let stats = cache.stats();
+        assert_eq!(stats.lineages.len(), 2);
+        assert_eq!(stats.lineages[0].label, "window-a");
+        assert_eq!(stats.lineages[0].invalidations, 0);
+        assert_eq!(stats.lineages[1].invalidations, removed as u64);
+        let fp = idle.fingerprint();
+        assert_eq!(cache.publish_lineage(a, fp, fp), 0);
+    }
+
+    #[test]
+    fn lineage_hits_credit_current_claimants() {
+        let (vs, ctx) = world();
+        let registry = MeasureRegistry::standard();
+        let cache = Arc::new(ReportCache::new());
+        let a = cache.register_lineage("narrow");
+        let b = cache.register_lineage("wide");
+        cache.claim_lineage(a, ctx.fingerprint());
+        let _ = cache.reports_for(&registry, &ctx); // cold: misses only
+        let _ = cache.reports_for(&registry, &ctx); // warm: hits credit A
+        let stats = cache.stats();
+        assert_eq!(stats.lineages[0].hits, registry.len() as u64);
+        assert_eq!(stats.lineages[1].hits, 0, "B claims nothing yet");
+        // A shared claim credits both; an unrelated step credits none.
+        cache.claim_lineage(b, ctx.fingerprint());
+        let _ = cache.reports_for(&registry, &ctx);
+        let stats = cache.stats();
+        assert_eq!(stats.lineages[0].hits, 2 * registry.len() as u64);
+        assert_eq!(stats.lineages[1].hits, registry.len() as u64);
+        let idle = EvolutionContext::build(&vs, ctx.from, ctx.from);
+        let _ = cache.reports_for(&registry, &idle);
+        let _ = cache.reports_for(&registry, &idle);
+        let stats = cache.stats();
+        assert_eq!(stats.lineages[0].hits, 2 * registry.len() as u64);
+        // reset_stats zeroes lineage counters but keeps registrations.
+        cache.reset_stats();
+        let stats = cache.stats();
+        assert_eq!(stats.lineages.len(), 2);
+        assert_eq!(stats.lineages[0].hits, 0);
     }
 
     #[test]

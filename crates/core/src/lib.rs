@@ -36,7 +36,7 @@ pub mod session;
 pub mod transparency;
 
 pub use anonymity::{anonymise, AnonymisedCell, AnonymisedReport, UserFeed};
-pub use cache::{CacheStats, DerivedArtefacts, ReportCache};
+pub use cache::{CacheStats, DerivedArtefacts, LineageId, LineageStats, ReportCache};
 pub use diversity::{
     category_coverage, intra_set_distance, select_mmr, set_objective, swap_refine,
     DistanceMatrix, DistanceWeights,

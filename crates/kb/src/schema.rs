@@ -27,6 +27,11 @@ pub struct SchemaView {
     property_links: FxHashMap<TermId, FxHashMap<(TermId, TermId), u64>>,
     /// class → total instance connections its instances participate in.
     connection_totals: FxHashMap<TermId, u64>,
+    /// instance → the typed instances it shares a property link with
+    /// (either direction); the per-instance inverse of `property_links`,
+    /// used by incremental measure updates to bound how far a typing
+    /// change can ripple.
+    link_partners: FxHashMap<TermId, Vec<TermId>>,
     /// class ↔ class adjacency via subsumption or property connection.
     class_adj: FxHashMap<TermId, FxHashSet<TermId>>,
 }
@@ -109,6 +114,8 @@ impl SchemaView {
             // instances carry one or two types in practice.
             let s_types = s_types.clone();
             let o_types = o_types.clone();
+            view.link_partners.entry(triple.s).or_default().push(triple.o);
+            view.link_partners.entry(triple.o).or_default().push(triple.s);
             let links = view.property_links.entry(triple.p).or_default();
             for &cs in &s_types {
                 for &co in &o_types {
@@ -121,6 +128,11 @@ impl SchemaView {
             for &co in &o_types {
                 *view.connection_totals.entry(co).or_insert(0) += 1;
             }
+        }
+
+        for list in view.link_partners.values_mut() {
+            list.sort_unstable();
+            list.dedup();
         }
 
         // Adjacency: subsumption edges plus property-connected class pairs
@@ -215,6 +227,16 @@ impl SchemaView {
     /// Direct types of `instance` (sorted by id).
     pub fn types_of(&self, instance: TermId) -> &[TermId] {
         self.types_of.get(&instance).map_or(&[], Vec::as_slice)
+    }
+
+    /// The typed instances `instance` shares a property link with, in
+    /// either direction (sorted by id, deduplicated). Only links whose
+    /// two endpoints are both typed contribute — the same condition
+    /// under which a link feeds class adjacency — so re-typing
+    /// `instance` can only change adjacency between its types and the
+    /// types of exactly these partners.
+    pub fn link_partners(&self, instance: TermId) -> &[TermId] {
+        self.link_partners.get(&instance).map_or(&[], Vec::as_slice)
     }
 
     /// Number of instance links via `property` between `(subject_class,
@@ -362,6 +384,23 @@ mod tests {
             f,
             [person, student, teacher, course, teaches, alice, bob, algo],
         )
+    }
+
+    #[test]
+    fn link_partners_are_recorded_both_ways() {
+        let (mut f, [_, _, _, _, teaches, alice, bob, algo]) = university();
+        let v = f.view();
+        assert_eq!(v.link_partners(alice), &[algo]);
+        assert_eq!(v.link_partners(algo), &[alice]);
+        assert!(v.link_partners(bob).is_empty(), "no links for bob");
+        assert!(v.link_partners(teaches).is_empty(), "predicates have none");
+        // Duplicate links dedup; an untyped endpoint contributes none.
+        f.add(alice, teaches, algo);
+        let untyped = f.iri("mystery");
+        f.add(alice, teaches, untyped);
+        let v = f.view();
+        assert_eq!(v.link_partners(alice), &[algo]);
+        assert!(v.link_partners(untyped).is_empty());
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub use event::{ChangeEvent, ChangeOp};
 pub use ingest::{EpochCommit, IngestStats, Ingestor, IngestorConfig};
 pub use live::{LiveContext, ServingHandles};
 pub use log::{EventLog, LogClosed, LogStats, TryPushError};
-pub use pipeline::{PipelineOptions, StreamPipeline};
+pub use pipeline::{EpochSink, PipelineOptions, StreamPipeline};

@@ -15,7 +15,7 @@
 //!
 //! [`MeasureCost::Heavy`]: evorec_measures::MeasureCost::Heavy
 
-use evorec_core::ReportCache;
+use evorec_core::{LineageId, ReportCache};
 use evorec_measures::{EvolutionContext, MeasureRegistry, MeasureReport};
 use evorec_versioning::LowLevelDelta;
 use parking_lot::RwLock;
@@ -39,6 +39,10 @@ pub struct LiveContext {
     current: RwLock<Arc<EvolutionContext>>,
     epoch: AtomicU64,
     serving: Option<ServingHandles>,
+    /// When set, epoch-swap invalidation is scoped to this lineage:
+    /// the superseded fingerprint's entries are dropped only if no
+    /// other lineage of the shared cache still claims them.
+    lineage: Option<LineageId>,
     background_warm: bool,
     /// Serialises whole publishes (join previous warm → swap → spawn
     /// next warm): concurrent `publish` calls would otherwise race on
@@ -56,6 +60,7 @@ impl LiveContext {
             current: RwLock::new(initial),
             epoch: AtomicU64::new(0),
             serving: None,
+            lineage: None,
             background_warm: false,
             publish_lock: Mutex::new(()),
             warm_worker: Mutex::new(None),
@@ -75,10 +80,28 @@ impl LiveContext {
             current: RwLock::new(initial),
             epoch: AtomicU64::new(0),
             serving: Some(ServingHandles { registry, cache }),
+            lineage: None,
             background_warm: false,
             publish_lock: Mutex::new(()),
             warm_worker: Mutex::new(None),
         }
+    }
+
+    /// Scope this handle's epoch-swap invalidation to `lineage` (a
+    /// lineage of the serving cache, see
+    /// [`ReportCache::register_lineage`]): superseded entries are
+    /// evicted only when no *other* lineage still claims their
+    /// fingerprint, so several live windows can share one cache without
+    /// one window's swap evicting what another still serves. The
+    /// initial context's fingerprint is claimed immediately.
+    pub fn with_lineage(mut self, lineage: LineageId) -> LiveContext {
+        if let Some(serving) = &self.serving {
+            serving
+                .cache
+                .claim_lineage(lineage, self.current().fingerprint());
+        }
+        self.lineage = Some(lineage);
+        self
     }
 
     /// Run the pre-warm pass on a background thread instead of inline,
@@ -123,7 +146,9 @@ impl LiveContext {
         let Some(serving) = self.serving.clone() else {
             return;
         };
-        let task = move || warm_and_invalidate(&serving, &previous, &next, extension.as_deref());
+        let lineage = self.lineage;
+        let task =
+            move || warm_and_invalidate(&serving, &previous, &next, extension.as_deref(), lineage);
         if self.background_warm {
             *self.warm_worker.lock().unwrap_or_else(|e| e.into_inner()) =
                 Some(std::thread::spawn(task));
@@ -158,12 +183,16 @@ impl Drop for LiveContext {
 }
 
 /// Compute (or incrementally advance) every report for `next` into the
-/// cache, then drop the superseded fingerprint's entries.
+/// cache, then drop the superseded fingerprint's entries — globally, or
+/// scoped to `lineage` when one is attached (the superseded entries
+/// survive while any other lineage of the shared cache still claims
+/// them).
 fn warm_and_invalidate(
     serving: &ServingHandles,
     previous: &EvolutionContext,
     next: &EvolutionContext,
     extension: Option<&LowLevelDelta>,
+    lineage: Option<LineageId>,
 ) {
     let old_fingerprint = previous.fingerprint();
     let new_fingerprint = next.fingerprint();
@@ -191,7 +220,16 @@ fn warm_and_invalidate(
             .unwrap_or_else(|| measure.compute(next));
         serving.cache.insert(new_fingerprint, report);
     }
-    serving.cache.invalidate_fingerprint(old_fingerprint);
+    match lineage {
+        Some(lineage) => {
+            serving
+                .cache
+                .publish_lineage(lineage, old_fingerprint, new_fingerprint);
+        }
+        None => {
+            serving.cache.invalidate_fingerprint(old_fingerprint);
+        }
+    }
 }
 
 impl std::fmt::Debug for LiveContext {
@@ -200,6 +238,7 @@ impl std::fmt::Debug for LiveContext {
             .field("epoch", &self.epoch())
             .field("fingerprint", &self.current().fingerprint())
             .field("serving", &self.serving.is_some())
+            .field("lineage", &self.lineage)
             .field("background_warm", &self.background_warm)
             .finish()
     }
@@ -340,6 +379,45 @@ mod tests {
             let fresh = measure.compute(&rolled);
             assert_eq!(report.scores(), fresh.scores(), "{}", report.measure);
         }
+    }
+
+    #[test]
+    fn lineage_scoped_publish_spares_other_windows_entries() {
+        let vs = store();
+        let registry = Arc::new(MeasureRegistry::standard());
+        let cache = Arc::new(ReportCache::new());
+        let shared = Arc::new(EvolutionContext::build(&vs, v(0), v(1)));
+        // Two windows serving the *same* step from one cache.
+        let a = LiveContext::with_serving(
+            Arc::clone(&shared),
+            Arc::clone(&registry),
+            Arc::clone(&cache),
+        )
+        .with_lineage(cache.register_lineage("a"));
+        let b = LiveContext::with_serving(
+            Arc::clone(&shared),
+            Arc::clone(&registry),
+            Arc::clone(&cache),
+        )
+        .with_lineage(cache.register_lineage("b"));
+        let _ = cache.reports_for(&registry, &shared);
+        assert_eq!(cache.len(), registry.len());
+
+        // A swaps away: B still claims the shared fingerprint, so its
+        // entries stay resident alongside the fresh epoch's.
+        let next = Arc::new(EvolutionContext::build(&vs, v(0), v(2)));
+        a.publish(Arc::clone(&next), Some(vs.delta(v(1), v(2))));
+        assert_eq!(cache.len(), 2 * registry.len(), "old step retained");
+        cache.reset_stats();
+        let _ = cache.reports_for(&registry, &shared);
+        assert_eq!(cache.stats().misses, 0, "B's step still warm");
+
+        // B swaps too: nobody claims the old step, entries drop.
+        b.publish(Arc::clone(&next), Some(vs.delta(v(1), v(2))));
+        assert_eq!(cache.len(), registry.len());
+        let stats = cache.stats();
+        assert_eq!(stats.lineages.len(), 2);
+        assert!(stats.lineages[1].invalidations >= registry.len() as u64);
     }
 
     #[test]

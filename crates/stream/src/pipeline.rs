@@ -12,14 +12,34 @@
 //! on a rebuild.
 
 use crate::event::ChangeEvent;
-use crate::ingest::Ingestor;
+use crate::ingest::{EpochCommit, Ingestor};
 use crate::live::LiveContext;
 use crate::log::EventLog;
 use evorec_core::ReportCache;
 use evorec_measures::{EvolutionContext, MeasureRegistry};
-use evorec_versioning::VersionId;
+use evorec_versioning::{VersionId, VersionedStore};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// An observer of committed epochs, called by the ingest worker right
+/// after each commit is published to the pipeline's own
+/// [`LiveContext`].
+///
+/// This is the fan-out point multi-view serving hangs off: a sink sees
+/// the ingestor's store (already holding the fresh version) and the
+/// [`EpochCommit`] (including its normalised delta), so it can maintain
+/// any number of derived live views — e.g. the window manager of
+/// `evorec-windows`, which advances one context per temporal window by
+/// composing per-epoch deltas.
+///
+/// Sinks run **on the ingest worker thread**: a slow sink delays the
+/// next micro-batch (that is backpressure, not a bug — readers of every
+/// published context stay lock-light regardless). Panics in a sink
+/// poison the pipeline worker.
+pub trait EpochSink: Send + Sync {
+    /// Called once per committed epoch, in commit order.
+    fn on_epoch(&self, store: &VersionedStore, commit: &EpochCommit);
+}
 
 /// Options of [`StreamPipeline::spawn`].
 #[derive(Clone, Default)]
@@ -32,10 +52,15 @@ pub struct PipelineOptions {
     pub origin: Option<VersionId>,
     /// Serving pair handed to the [`LiveContext`]: publishes pre-warm
     /// this registry into this cache and invalidate superseded epochs.
+    /// The pipeline registers its own cache lineage, so its swaps
+    /// never evict fingerprints other lineages (e.g. serving windows
+    /// sharing the cache) still claim.
     pub serving: Option<(Arc<MeasureRegistry>, Arc<ReportCache>)>,
     /// Run the pre-warm pass on a background thread (see
     /// [`LiveContext::background_warm`]).
     pub background_warm: bool,
+    /// Epoch observers, called after every commit in commit order.
+    pub sinks: Vec<Arc<dyn EpochSink>>,
 }
 
 /// A running ingestion pipeline. Dropping it without
@@ -73,15 +98,22 @@ impl StreamPipeline {
         };
         let initial = Arc::new(EvolutionContext::build(ingestor.store(), origin, head));
         let live = Arc::new(match options.serving {
-            Some((registry, cache)) => LiveContext::with_serving(initial, registry, cache)
-                .background_warm(options.background_warm),
+            Some((registry, cache)) => {
+                let lineage = cache.register_lineage("pipeline");
+                LiveContext::with_serving(initial, registry, cache)
+                    .background_warm(options.background_warm)
+                    .with_lineage(lineage)
+            }
             None => LiveContext::new(initial),
         });
         let log = Arc::new(EventLog::bounded(capacity));
         let worker = {
             let log = Arc::clone(&log);
             let live = Arc::clone(&live);
-            std::thread::spawn(move || ingest_loop(ingestor, &log, &live, origin, max_batch))
+            let sinks = options.sinks;
+            std::thread::spawn(move || {
+                ingest_loop(ingestor, &log, &live, origin, max_batch, &sinks)
+            })
         };
         StreamPipeline {
             log,
@@ -134,13 +166,14 @@ fn ingest_loop(
     live: &LiveContext,
     origin: VersionId,
     max_batch: usize,
+    sinks: &[Arc<dyn EpochSink>],
 ) -> Ingestor {
     loop {
         let batch = log.pop_batch(max_batch);
         let drained = batch.is_empty();
         ingestor.ingest_all(batch);
         if drained || ingestor.pending_events() >= max_batch || log.is_empty() {
-            commit_and_publish(&mut ingestor, live, origin);
+            commit_and_publish(&mut ingestor, live, origin, sinks);
         }
         if drained {
             return ingestor;
@@ -148,14 +181,22 @@ fn ingest_loop(
     }
 }
 
-fn commit_and_publish(ingestor: &mut Ingestor, live: &LiveContext, origin: VersionId) {
+fn commit_and_publish(
+    ingestor: &mut Ingestor,
+    live: &LiveContext,
+    origin: VersionId,
+    sinks: &[Arc<dyn EpochSink>],
+) {
     if let Some(commit) = ingestor.commit_epoch() {
         let ctx = Arc::new(EvolutionContext::build(
             ingestor.store(),
             origin,
             commit.version,
         ));
-        live.publish(ctx, Some(commit.delta));
+        live.publish(ctx, Some(Arc::clone(&commit.delta)));
+        for sink in sinks {
+            sink.on_epoch(ingestor.store(), &commit);
+        }
     }
 }
 
@@ -267,6 +308,36 @@ mod tests {
             .store()
             .snapshot(ingestor.head().unwrap())
             .contains(&typing), "pending events flushed at shutdown");
+    }
+
+    #[test]
+    fn sinks_observe_every_commit_in_order() {
+        use std::sync::Mutex;
+
+        struct Recorder(Mutex<Vec<(VersionId, usize)>>);
+        impl EpochSink for Recorder {
+            fn on_epoch(&self, store: &VersionedStore, commit: &crate::EpochCommit) {
+                // The store already holds the committed version.
+                assert!(store.try_snapshot(commit.version).is_some());
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push((commit.version, commit.delta.size()));
+            }
+        }
+
+        let (ingestor, _edge, typing) = seeded();
+        let recorder = Arc::new(Recorder(Mutex::new(Vec::new())));
+        let pipeline = StreamPipeline::spawn(ingestor, PipelineOptions {
+            sinks: vec![Arc::clone(&recorder) as Arc<dyn EpochSink>],
+            ..Default::default()
+        });
+        pipeline.send(ChangeEvent::assert(typing, "curator")).unwrap();
+        let ingestor = pipeline.shutdown();
+        let seen = recorder.0.lock().unwrap().clone();
+        assert_eq!(seen.len() as u64, ingestor.stats().epochs);
+        assert_eq!(seen[0].0, ingestor.head().unwrap());
+        assert_eq!(seen[0].1, 1, "one added triple in the epoch delta");
     }
 
     #[test]

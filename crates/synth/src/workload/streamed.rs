@@ -12,7 +12,7 @@
 
 use crate::workload::Workload;
 use evorec_kb::Triple;
-use evorec_stream::{ChangeEvent, EventLog, Ingestor, IngestorConfig};
+use evorec_stream::{ChangeEvent, EpochCommit, EventLog, Ingestor, IngestorConfig};
 use evorec_versioning::{VersionId, VersionedStore};
 use std::sync::Arc;
 
@@ -71,6 +71,34 @@ pub fn seeded_ingestor(workload: &Workload, config: IngestorConfig) -> Ingestor 
     )
 }
 
+/// Replay `workload` through a fresh seeded ingestor, committing an
+/// epoch at the end of every evolution step and additionally whenever
+/// `config.max_batch` events are pending (mirroring the pipeline's
+/// micro-batching — shrink `max_batch` to stretch a two-step workload
+/// into a long epoch stream). Hands back the ingestor together with
+/// every [`EpochCommit`], oldest first — the ready-made input for
+/// anything consuming an epoch stream after the fact (window-advance
+/// tests, fan-out benches). Batches that net to nothing commit no
+/// epoch.
+pub fn committed_epochs(
+    workload: &Workload,
+    config: IngestorConfig,
+) -> (Ingestor, Vec<EpochCommit>) {
+    let max_batch = config.max_batch.max(1);
+    let mut ingestor = seeded_ingestor(workload, config);
+    let mut commits = Vec::new();
+    for batch in replay(workload) {
+        for event in batch {
+            ingestor.ingest(event);
+            if ingestor.pending_events() >= max_batch {
+                commits.extend(ingestor.commit_epoch());
+            }
+        }
+        commits.extend(ingestor.commit_epoch());
+    }
+    (ingestor, commits)
+}
+
 /// Push every evolution step of `workload` into `log`, in order,
 /// blocking under backpressure. Returns the number of events pushed.
 ///
@@ -121,6 +149,41 @@ mod tests {
         let head = w.head();
         assert_eq!(ingestor.store().snapshot(head), w.kb.store.snapshot(head));
         assert_eq!(ingestor.stats().coalesced, 0, "deltas never self-cancel");
+    }
+
+    #[test]
+    fn committed_epochs_returns_one_commit_per_net_step() {
+        // The default max_batch (256) exceeds any step of this small
+        // workload, so only the per-step flush commits.
+        let w = curated_kb(30, 10);
+        let (ingestor, commits) = committed_epochs(&w, IngestorConfig::default());
+        assert_eq!(commits.len(), w.outcomes.len());
+        assert_eq!(commits.last().unwrap().version, ingestor.head().unwrap());
+        for pair in commits.windows(2) {
+            assert!(pair[0].version < pair[1].version, "oldest first");
+        }
+    }
+
+    #[test]
+    fn committed_epochs_micro_batches_under_small_max_batch() {
+        let w = curated_kb(30, 10);
+        let events: usize = replay(&w).iter().map(Vec::len).sum();
+        let (ingestor, commits) = committed_epochs(&w, IngestorConfig {
+            max_batch: 8,
+            ..Default::default()
+        });
+        assert!(
+            commits.len() > w.outcomes.len(),
+            "threshold commits stretch the stream: {} epochs",
+            commits.len()
+        );
+        assert!(commits.len() <= events.div_ceil(8) + w.outcomes.len());
+        // Same final state as the batch build regardless of chunking
+        // (the streamed history has more, smaller versions).
+        assert_eq!(
+            ingestor.store().snapshot(ingestor.head().unwrap()),
+            w.kb.store.snapshot(w.head())
+        );
     }
 
     #[test]

@@ -104,6 +104,26 @@ impl LowLevelDelta {
         }
     }
 
+    /// A copy with every entry that is a no-op relative to `base`
+    /// dropped: additions already present in `base`, removals absent
+    /// from it.
+    ///
+    /// [`compose`](LowLevelDelta::compose) keeps its two sides disjoint
+    /// but can carry base-relative no-ops — a triple removed by one
+    /// epoch and re-added by a later one survives composition as an
+    /// addition even though the span's endpoints both contain it. For a
+    /// chain of per-step deltas `base → … → head`, normalising the
+    /// composition against the `base` snapshot recovers *exactly*
+    /// [`LowLevelDelta::compute`]`(base, head)` — which is what lets a
+    /// sliding serving window advance by delta algebra yet fingerprint
+    /// identically to a batch-built context.
+    pub fn normalise_against(&self, base: &TripleStore) -> LowLevelDelta {
+        LowLevelDelta {
+            added: self.added.iter().filter(|t| !base.contains(t)).collect(),
+            removed: self.removed.iter().filter(|t| base.contains(t)).collect(),
+        }
+    }
+
     /// Sequentially compose two deltas: `self` then `later`. The result
     /// applied to a base equals applying both in order.
     pub fn compose(&self, later: &LowLevelDelta) -> LowLevelDelta {
@@ -233,6 +253,43 @@ mod tests {
         assert_eq!(net.apply(&empty), empty);
         let with_t = TripleStore::from_triples([tr(1, 2, 3)]);
         assert!(net.apply(&with_t).is_empty());
+    }
+
+    #[test]
+    fn normalised_composition_equals_direct_compute() {
+        // S0 → S1 removes (1,2,3); S1 → S2 re-adds it. The raw
+        // composition carries the re-add as an addition; normalising
+        // against S0 recovers the direct diff exactly.
+        let s0 = TripleStore::from_triples([tr(1, 2, 3), tr(4, 5, 6)]);
+        let s1 = TripleStore::from_triples([tr(4, 5, 6)]);
+        let s2 = TripleStore::from_triples([tr(1, 2, 3), tr(7, 8, 9)]);
+        let d01 = LowLevelDelta::compute(&s0, &s1);
+        let d12 = LowLevelDelta::compute(&s1, &s2);
+        let composed = d01.compose(&d12);
+        assert!(
+            composed.added.contains(&tr(1, 2, 3)),
+            "raw composition carries the base-relative no-op"
+        );
+        let normalised = composed.normalise_against(&s0);
+        assert_eq!(normalised, LowLevelDelta::compute(&s0, &s2));
+        // Normalising a directly computed delta is the identity.
+        let direct = LowLevelDelta::compute(&s0, &s2);
+        assert_eq!(direct.normalise_against(&s0), direct);
+    }
+
+    #[test]
+    fn inverted_prefix_strips_cleanly_for_sliding_windows() {
+        // The sliding-window advance: given d02 = d01 ∘ d12, stripping
+        // the evicted epoch as d01⁻¹ ∘ d02 and normalising against S1
+        // yields exactly compute(S1, S2).
+        let s0 = TripleStore::from_triples([tr(1, 2, 3), tr(4, 5, 6)]);
+        let s1 = TripleStore::from_triples([tr(4, 5, 6), tr(7, 8, 9)]);
+        let s2 = TripleStore::from_triples([tr(1, 2, 3), tr(7, 8, 9)]);
+        let d01 = LowLevelDelta::compute(&s0, &s1);
+        let d12 = LowLevelDelta::compute(&s1, &s2);
+        let d02 = d01.compose(&d12);
+        let stripped = d01.invert().compose(&d02).normalise_against(&s1);
+        assert_eq!(stripped, LowLevelDelta::compute(&s1, &s2));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   perspective (§III(b));
 //! - [`Archive`] / [`ArchivePolicy`] — archiving policies after
 //!   Stefanidis et al. (ER 2014), the paper's reference \[13\];
+//! - [`EpochRing`] / [`EpochEntry`] — a bounded ring of per-epoch
+//!   deltas, the composition substrate serving windows advance over
+//!   instead of re-diffing snapshots;
 //! - [`Timeline`] / [`Trend`] — per-term change series over whole
 //!   histories ("observe changes trends", §I);
 //! - [`codec`] — a compact delta wire format after Cloran & Irwin,
@@ -25,6 +28,7 @@ mod changes;
 pub mod codec;
 mod delta;
 mod provenance;
+mod ring;
 mod store;
 mod timeline;
 mod validate;
@@ -35,6 +39,7 @@ pub use changes::{describe_all, Change, ChangeKind, ChangeSet};
 pub use codec::{decode_delta, encode_delta, CodecError};
 pub use delta::LowLevelDelta;
 pub use provenance::{Justification, ProvenanceLedger, ProvenanceRecord, RecordId};
+pub use ring::{EpochEntry, EpochRing};
 pub use store::VersionedStore;
 pub use timeline::{classify_trend, Timeline, Trend};
 pub use validate::{validate_snapshot, ValidationIssue};

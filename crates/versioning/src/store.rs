@@ -4,6 +4,7 @@ use crate::delta::LowLevelDelta;
 use crate::version::{VersionId, VersionInfo};
 use evorec_kb::{FxHashMap, SchemaView, Term, TermId, TermInterner, TripleStore, Vocab};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A linear history of knowledge-base snapshots sharing one interner.
@@ -22,6 +23,7 @@ pub struct VersionedStore {
     clock: u64,
     delta_cache: RwLock<FxHashMap<(VersionId, VersionId), Arc<LowLevelDelta>>>,
     schema_cache: RwLock<FxHashMap<VersionId, Arc<SchemaView>>>,
+    delta_computations: AtomicU64,
 }
 
 impl Default for VersionedStore {
@@ -43,6 +45,7 @@ impl VersionedStore {
             clock: 0,
             delta_cache: RwLock::new(FxHashMap::default()),
             schema_cache: RwLock::new(FxHashMap::default()),
+            delta_computations: AtomicU64::new(0),
         }
     }
 
@@ -144,6 +147,7 @@ impl VersionedStore {
         if let Some(hit) = self.delta_cache.read().get(&(from, to)) {
             return Arc::clone(hit);
         }
+        self.delta_computations.fetch_add(1, Ordering::Relaxed);
         let computed = Arc::new(LowLevelDelta::compute(
             self.snapshot(from),
             self.snapshot(to),
@@ -152,6 +156,34 @@ impl VersionedStore {
             .write()
             .insert((from, to), Arc::clone(&computed));
         computed
+    }
+
+    /// Seed the delta cache for `from → to` with a delta the caller has
+    /// derived some other way — e.g. a serving window's composition of
+    /// per-epoch deltas (normalised against the `from` snapshot, so it
+    /// equals what [`LowLevelDelta::compute`] would return). A later
+    /// [`delta`](VersionedStore::delta) call for the pair then hits the
+    /// cache instead of re-diffing two whole snapshots. An already
+    /// cached pair is left untouched.
+    ///
+    /// # Panics
+    /// Panics if either version is unknown to this store.
+    pub fn seed_delta(&self, from: VersionId, to: VersionId, delta: Arc<LowLevelDelta>) {
+        assert!(
+            self.try_snapshot(from).is_some() && self.try_snapshot(to).is_some(),
+            "seed_delta needs committed versions, got {from} → {to}"
+        );
+        self.delta_cache.write().entry((from, to)).or_insert(delta);
+    }
+
+    /// How many deltas have been computed by diffing two snapshots (the
+    /// O(|V1| + |V2|) path), as opposed to served from the cache or
+    /// seeded by [`seed_delta`](VersionedStore::seed_delta). The
+    /// multi-window serving tests and benches watch this counter to
+    /// prove that advancing windows composes epoch deltas instead of
+    /// re-diffing.
+    pub fn delta_computations(&self) -> u64 {
+        self.delta_computations.load(Ordering::Relaxed)
     }
 
     /// The schema view of `version` (memoised).
@@ -253,6 +285,41 @@ mod tests {
         let v1 = vs.commit_delta("add", &d);
         let cached = vs.delta(v0, v1);
         assert_eq!(cached.as_ref(), &d);
+    }
+
+    #[test]
+    fn seeded_delta_is_served_without_a_diff() {
+        let (mut vs, a, p, b) = fixture();
+        let v0 = vs.commit_snapshot("empty", TripleStore::new());
+        let v1 = vs.commit_snapshot("one", TripleStore::from_triples([Triple::new(a, p, b)]));
+        let v2 = vs.commit_snapshot(
+            "two",
+            TripleStore::from_triples([Triple::new(a, p, b), Triple::new(b, p, a)]),
+        );
+        assert_eq!(vs.delta_computations(), 0);
+        // Seed the long span from the composition of the short ones.
+        let d01 = vs.delta(v0, v1);
+        let d12 = vs.delta(v1, v2);
+        assert_eq!(vs.delta_computations(), 2);
+        let composed = Arc::new(d01.compose(&d12).normalise_against(vs.snapshot(v0)));
+        vs.seed_delta(v0, v2, Arc::clone(&composed));
+        let served = vs.delta(v0, v2);
+        assert!(Arc::ptr_eq(&served, &composed), "seeded entry served");
+        assert_eq!(vs.delta_computations(), 2, "no snapshot diff for v0→v2");
+        // Seeding an already cached pair leaves the original in place.
+        vs.seed_delta(v0, v1, Arc::new(LowLevelDelta::new()));
+        assert!(Arc::ptr_eq(&vs.delta(v0, v1), &d01));
+    }
+
+    #[test]
+    #[should_panic(expected = "committed versions")]
+    fn seed_delta_rejects_unknown_versions() {
+        let (vs, ..) = fixture();
+        vs.seed_delta(
+            VersionId::from_u32(0),
+            VersionId::from_u32(1),
+            Arc::new(LowLevelDelta::new()),
+        );
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! # evorec-windows — multi-window temporal serving
+//!
+//! One epoch stream, many live evolution views. The paper frames
+//! evolution-measure recommendation as *human-aware*: different
+//! curators care about change over different horizons, yet a single
+//! streaming pipeline publishes one context per origin. This crate
+//! fans one stream of committed epochs out into any number of
+//! concurrently served temporal windows:
+//!
+//! | Piece | Role |
+//! |-------|------|
+//! | [`WindowSpec`] / [`WindowDef`] | the horizon vocabulary: last epoch, sliding band, landmark, since-timestamp |
+//! | [`WindowManager`] | subscribes to epoch commits ([`EpochSink`]), advances each window by composing per-epoch deltas, publishes one [`LiveContext`] per window |
+//! | [`WindowedRecommender`] | per-window recommendations plus the cross-window [`TrendDiff`] |
+//!
+//! The load-bearing property: a sliding window advances in
+//! O(|evicted ε| + |new ε|) delta algebra
+//! ([`LowLevelDelta::compose`]/[`invert`] over an [`EpochRing`] of
+//! epoch deltas, normalised against the window's `from` snapshot) —
+//! never by re-diffing snapshots — yet every published context is
+//! bit-identical, fingerprint included, to a batch build over the same
+//! span. All windows share one [`ReportCache`] under per-window
+//! *lineages*, so one window's epoch swap never evicts reports or
+//! derived artefacts another window still serves.
+//!
+//! [`EpochSink`]: evorec_stream::EpochSink
+//! [`LiveContext`]: evorec_stream::LiveContext
+//! [`EpochRing`]: evorec_versioning::EpochRing
+//! [`LowLevelDelta::compose`]: evorec_versioning::LowLevelDelta::compose
+//! [`invert`]: evorec_versioning::LowLevelDelta::invert
+//! [`ReportCache`]: evorec_core::ReportCache
+
+#![warn(missing_docs)]
+
+mod manager;
+mod recommender;
+mod spec;
+
+pub use manager::{WindowManager, WindowManagerOptions, WindowManagerStats};
+pub use recommender::{
+    MeasureTrend, TrendDiff, TrendDirection, WindowedRecommender,
+};
+pub use spec::{WindowDef, WindowSpec};

@@ -1,0 +1,639 @@
+//! The window manager: one epoch stream in, k live evolution views out.
+
+use crate::spec::{WindowDef, WindowSpec};
+use evorec_core::ReportCache;
+use evorec_measures::{EvolutionContext, MeasureRegistry};
+use evorec_stream::{EpochCommit, EpochSink, LiveContext};
+use evorec_versioning::{EpochEntry, EpochRing, LowLevelDelta, VersionId, VersionedStore};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Construction options of a [`WindowManager`].
+#[derive(Clone, Default)]
+pub struct WindowManagerOptions {
+    /// Serving pair shared by every window: each window registers its
+    /// own cache lineage (labelled with the window name), so one
+    /// window's epoch swap never evicts derived artefacts another
+    /// window still serves.
+    pub serving: Option<(Arc<MeasureRegistry>, Arc<ReportCache>)>,
+    /// Run each window's pre-warm pass on a background thread (see
+    /// [`LiveContext::background_warm`]).
+    pub background_warm: bool,
+    /// Epochs retained for sliding-window composition (0 → sized
+    /// automatically from the largest `SlidingEpochs` span).
+    pub ring_capacity: usize,
+    /// Treat this version as the stream head at construction instead
+    /// of the store's current head: a manager anchored at a historical
+    /// point can then be replayed forward over already-committed
+    /// epochs (backfill, or benchmarking the advance path against a
+    /// pre-built commit stream).
+    pub head: Option<VersionId>,
+}
+
+/// Cumulative counters of a [`WindowManager`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WindowManagerStats {
+    /// Epochs observed from the stream.
+    pub epochs: u64,
+    /// Window contexts published (≤ `epochs × window count`).
+    pub publishes: u64,
+    /// Sliding advances that found their evicted epoch missing from
+    /// the ring and fell back to the store's memoised adjacent-pair
+    /// delta (a sizing warning, not a snapshot re-diff).
+    pub ring_fallbacks: u64,
+}
+
+/// Mutable per-window bookkeeping (all guarded by the manager lock).
+struct WindowState {
+    from: VersionId,
+    to: VersionId,
+    /// Raw composition of the epoch deltas `from → to` (normalised
+    /// against the `from` snapshot only at publish time).
+    composed: LowLevelDelta,
+    /// Epochs currently inside the window (sliding bookkeeping).
+    epochs: usize,
+}
+
+/// One managed window: its definition and the live handle readers
+/// serve from.
+struct Window {
+    def: WindowDef,
+    live: Arc<LiveContext>,
+}
+
+/// Everything the epoch callback mutates, in one lock: the shared
+/// epoch-delta ring plus each window's span state.
+struct ManagerState {
+    ring: EpochRing,
+    windows: Vec<WindowState>,
+    /// The stream head as of the last observed epoch (construction
+    /// head initially); `advance` asserts each commit extends it.
+    head: VersionId,
+}
+
+/// Maintains any number of live temporal views over one epoch stream.
+///
+/// Subscribe it to a [`StreamPipeline`] via
+/// [`PipelineOptions::sinks`]: on every committed epoch the manager
+/// appends the epoch's delta to a bounded [`EpochRing`] and advances
+/// each window *by delta algebra* — a landmark window composes the new
+/// epoch onto its running delta, a sliding window additionally strips
+/// its evicted oldest epoch (`ε⁻¹ ∘ D`), in O(|evicted ε| + |new ε|)
+/// set work — then normalises the composition against the window's
+/// `from` snapshot, seeds the store's delta cache with it, and builds
+/// the window's [`EvolutionContext`] from the seeded delta. No window
+/// advance ever re-diffs two snapshots (watch
+/// [`VersionedStore::delta_computations`]), yet the published context
+/// is bit-identical — fingerprint included — to a batch build over the
+/// same span, so every fingerprint-keyed cache works unchanged.
+///
+/// Each window publishes through its own [`LiveContext`]; with a
+/// serving pair attached, all windows share one [`ReportCache`] under
+/// per-window lineages, and a window whose origin did not move hands
+/// the epoch delta to the incremental measure hooks.
+///
+/// [`StreamPipeline`]: evorec_stream::StreamPipeline
+/// [`PipelineOptions::sinks`]: evorec_stream::PipelineOptions
+pub struct WindowManager {
+    windows: Vec<Window>,
+    origin: VersionId,
+    serving: Option<(Arc<MeasureRegistry>, Arc<ReportCache>)>,
+    state: Mutex<ManagerState>,
+    epochs: AtomicU64,
+    publishes: AtomicU64,
+    ring_fallbacks: AtomicU64,
+}
+
+impl WindowManager {
+    /// Build a manager over `store`'s current history. `origin` is the
+    /// landmark anchor ("since release"); every window's initial
+    /// context spans its spec's bounds over the existing history, so a
+    /// manager attached mid-stream starts consistent.
+    ///
+    /// # Panics
+    /// Panics if the history is empty, `origin` is unknown, or two
+    /// windows share a name.
+    pub fn new(
+        store: &VersionedStore,
+        origin: VersionId,
+        defs: Vec<WindowDef>,
+        options: WindowManagerOptions,
+    ) -> WindowManager {
+        let head = options
+            .head
+            .or_else(|| store.head())
+            .expect("window manager needs a seeded history");
+        assert!(
+            store.try_snapshot(head).is_some(),
+            "head {head} is not a committed version"
+        );
+        assert!(
+            store.try_snapshot(origin).is_some(),
+            "origin {origin} is not a committed version"
+        );
+        assert!(origin <= head, "origin {origin} is after the head {head}");
+        for (ix, def) in defs.iter().enumerate() {
+            assert!(
+                defs[..ix].iter().all(|d| d.name != def.name),
+                "duplicate window name {:?}",
+                def.name
+            );
+        }
+        let max_sliding = defs
+            .iter()
+            .filter_map(|d| match d.spec {
+                WindowSpec::SlidingEpochs(k) => Some(k),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let ring_capacity = if options.ring_capacity == 0 {
+            (max_sliding + 1).max(8)
+        } else {
+            options.ring_capacity
+        };
+
+        let mut windows = Vec::with_capacity(defs.len());
+        let mut states = Vec::with_capacity(defs.len());
+        for def in defs {
+            // Epoch-counted windows attached mid-stream treat each
+            // committed version of the existing history as one epoch,
+            // so their initial span already covers their spec's bounds
+            // (a manager over a fresh seed starts at the idle span).
+            let from = match def.spec {
+                WindowSpec::Landmark => origin,
+                WindowSpec::LastEpoch => head.predecessor().unwrap_or(head),
+                WindowSpec::SlidingEpochs(k) => VersionId::from_u32(
+                    head.as_u32()
+                        .saturating_sub(u32::try_from(k).unwrap_or(u32::MAX)),
+                ),
+                WindowSpec::Since(t) => WindowSpec::since_anchor(store, t, origin, head),
+            };
+            let composed = if from == head {
+                LowLevelDelta::new()
+            } else {
+                (*store.delta(from, head)).clone()
+            };
+            let initial = Arc::new(EvolutionContext::build(store, from, head));
+            let live = match &options.serving {
+                Some((registry, cache)) => {
+                    let lineage = cache.register_lineage(def.name.clone());
+                    LiveContext::with_serving(initial, Arc::clone(registry), Arc::clone(cache))
+                        .background_warm(options.background_warm)
+                        .with_lineage(lineage)
+                }
+                None => LiveContext::new(initial),
+            };
+            states.push(WindowState {
+                from,
+                to: head,
+                composed,
+                // One pre-attach version = one epoch, so sliding
+                // eviction starts from the correct occupancy.
+                epochs: (head.as_u32() - from.as_u32()) as usize,
+            });
+            windows.push(Window {
+                def,
+                live: Arc::new(live),
+            });
+        }
+        WindowManager {
+            windows,
+            origin,
+            serving: options.serving,
+            state: Mutex::new(ManagerState {
+                ring: EpochRing::new(ring_capacity),
+                windows: states,
+                head,
+            }),
+            epochs: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+            ring_fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// The landmark origin every `Landmark` window anchors at.
+    pub fn origin(&self) -> VersionId {
+        self.origin
+    }
+
+    /// The serving pair shared by every window, if one was attached.
+    pub fn serving(&self) -> Option<&(Arc<MeasureRegistry>, Arc<ReportCache>)> {
+        self.serving.as_ref()
+    }
+
+    /// The live handle of the window called `name`.
+    pub fn window(&self, name: &str) -> Option<&Arc<LiveContext>> {
+        self.windows
+            .iter()
+            .find(|w| w.def.name == name)
+            .map(|w| &w.live)
+    }
+
+    /// Every window as `(name, spec, live handle)`, definition order.
+    pub fn windows(&self) -> impl Iterator<Item = (&str, WindowSpec, &Arc<LiveContext>)> {
+        self.windows
+            .iter()
+            .map(|w| (w.def.name.as_str(), w.def.spec, &w.live))
+    }
+
+    /// Window names, definition order.
+    pub fn names(&self) -> Vec<&str> {
+        self.windows.iter().map(|w| w.def.name.as_str()).collect()
+    }
+
+    /// The current `(from, to)` span of the window called `name`.
+    pub fn span(&self, name: &str) -> Option<(VersionId, VersionId)> {
+        let ix = self.windows.iter().position(|w| w.def.name == name)?;
+        let state = self.state.lock();
+        Some((state.windows[ix].from, state.windows[ix].to))
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> WindowManagerStats {
+        WindowManagerStats {
+            epochs: self.epochs.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            ring_fallbacks: self.ring_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Block until every window's in-flight background warm pass has
+    /// finished (no-op with inline warming).
+    pub fn wait_for_warm(&self) {
+        for window in &self.windows {
+            window.live.wait_for_warm();
+        }
+    }
+
+    /// Advance every window for one committed epoch. Called by the
+    /// pipeline via [`EpochSink`]; callable directly when driving an
+    /// [`Ingestor`](evorec_stream::Ingestor) by hand.
+    ///
+    /// # Panics
+    /// Panics if `commit` does not extend the stream head the manager
+    /// last observed (epochs must arrive gap-free, in commit order,
+    /// starting right after the history the manager was built over).
+    pub fn advance(&self, store: &VersionedStore, commit: &EpochCommit) {
+        let epoch_from = commit
+            .version
+            .predecessor()
+            .expect("epochs extend a seeded history");
+        let timestamp = store.versions()[commit.version.index()].timestamp;
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.state.lock();
+        assert_eq!(
+            guard.head, epoch_from,
+            "epoch {} → {} does not extend the manager's head {}",
+            epoch_from, commit.version, guard.head
+        );
+        guard.head = commit.version;
+        let ManagerState { ring, windows, .. } = &mut *guard;
+        ring.push(EpochEntry {
+            from: epoch_from,
+            to: commit.version,
+            delta: Arc::clone(&commit.delta),
+            timestamp,
+        });
+        for (window, state) in self.windows.iter().zip(windows.iter_mut()) {
+            let origin_moved = self.advance_window(window, state, ring, store, commit, timestamp);
+            self.publish_window(window, state, store, commit, origin_moved);
+        }
+    }
+
+    /// Move one window's bounds and composed delta for the new epoch.
+    /// Returns whether the window's `from` bound moved (which disables
+    /// the incremental measure hooks for this publish).
+    fn advance_window(
+        &self,
+        window: &Window,
+        state: &mut WindowState,
+        ring: &EpochRing,
+        store: &VersionedStore,
+        commit: &EpochCommit,
+        timestamp: u64,
+    ) -> bool {
+        let old_from = state.from;
+        state.to = commit.version;
+        match window.def.spec {
+            WindowSpec::Landmark => {
+                state.composed = state.composed.compose(&commit.delta);
+                state.epochs += 1;
+            }
+            WindowSpec::LastEpoch => {
+                state.from = commit
+                    .version
+                    .predecessor()
+                    .expect("epochs extend a seeded history");
+                state.composed = (*commit.delta).clone();
+                state.epochs = 1;
+            }
+            WindowSpec::SlidingEpochs(k) => {
+                state.composed = state.composed.compose(&commit.delta);
+                state.epochs += 1;
+                while state.epochs > k {
+                    let evicted = match ring.entry_starting_at(state.from) {
+                        Some(entry) => Arc::clone(&entry.delta),
+                        None => {
+                            // The ring no longer retains the evicted
+                            // epoch; the store's adjacent-pair delta
+                            // cache (seeded at commit time) still does.
+                            self.ring_fallbacks.fetch_add(1, Ordering::Relaxed);
+                            let next = VersionId::from_u32(state.from.as_u32() + 1);
+                            store.delta(state.from, next)
+                        }
+                    };
+                    state.composed = evicted.invert().compose(&state.composed);
+                    state.from = VersionId::from_u32(state.from.as_u32() + 1);
+                    state.epochs -= 1;
+                }
+            }
+            WindowSpec::Since(t) => {
+                if timestamp <= t {
+                    // The stream has not passed the anchor time yet:
+                    // the window trails the head, empty.
+                    state.from = commit.version;
+                    state.composed = LowLevelDelta::new();
+                    state.epochs = 0;
+                } else {
+                    state.composed = state.composed.compose(&commit.delta);
+                    state.epochs += 1;
+                }
+            }
+        }
+        state.from != old_from
+    }
+
+    /// Seed the store's delta cache with the window's composed delta
+    /// and publish a freshly built context through its live handle.
+    fn publish_window(
+        &self,
+        window: &Window,
+        state: &WindowState,
+        store: &VersionedStore,
+        commit: &EpochCommit,
+        origin_moved: bool,
+    ) {
+        let delta = if state.from == state.to {
+            Arc::new(LowLevelDelta::new())
+        } else if state.from == commit.version.predecessor().expect("seeded history")
+            && state.to == commit.version
+        {
+            // The window is exactly the new epoch: reuse its delta
+            // (already normalised, already in the store's cache).
+            Arc::clone(&commit.delta)
+        } else {
+            Arc::new(state.composed.normalise_against(store.snapshot(state.from)))
+        };
+        store.seed_delta(state.from, state.to, delta);
+        let ctx = Arc::new(EvolutionContext::build(store, state.from, state.to));
+        // Incremental hooks need an unmoved origin; LiveContext guards
+        // this too, but not handing the extension over at all saves the
+        // warm pass the check.
+        let extension = if origin_moved {
+            None
+        } else {
+            Some(Arc::clone(&commit.delta))
+        };
+        window.live.publish(ctx, extension);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl EpochSink for WindowManager {
+    fn on_epoch(&self, store: &VersionedStore, commit: &EpochCommit) {
+        self.advance(store, commit);
+    }
+}
+
+impl std::fmt::Debug for WindowManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        let spans: Vec<String> = self
+            .windows
+            .iter()
+            .zip(state.windows.iter())
+            .map(|(w, s)| format!("{}: {}→{}", w.def.name, s.from, s.to))
+            .collect();
+        f.debug_struct("WindowManager")
+            .field("origin", &self.origin)
+            .field("windows", &spans)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evorec_kb::{Triple, TripleStore};
+    use evorec_stream::{ChangeEvent, Ingestor, IngestorConfig};
+
+    /// A seeded ingestor over one subclass edge, plus interned terms
+    /// for instance churn.
+    fn seeded() -> (Ingestor, Vec<Triple>) {
+        let mut vs = VersionedStore::new();
+        let v = *vs.vocab();
+        let a = vs.intern_iri("http://x/A");
+        let b = vs.intern_iri("http://x/B");
+        let typings: Vec<Triple> = (0..6)
+            .map(|i| {
+                let inst = vs.intern_iri(format!("http://x/i{i}"));
+                Triple::new(inst, v.rdf_type, if i % 2 == 0 { a } else { b })
+            })
+            .collect();
+        let base = TripleStore::from_triples([Triple::new(a, v.rdfs_subclassof, b)]);
+        let ingestor = Ingestor::seeded(base, "fixture", IngestorConfig::default());
+        (ingestor, typings)
+    }
+
+    fn defs() -> Vec<WindowDef> {
+        vec![
+            WindowDef::new("last", WindowSpec::LastEpoch),
+            WindowDef::new("band", WindowSpec::SlidingEpochs(2)),
+            WindowDef::new("release", WindowSpec::Landmark),
+            WindowDef::new("recent", WindowSpec::Since(3)),
+        ]
+    }
+
+    /// Drive `n` single-event epochs through the manager by hand.
+    fn run_epochs(
+        ingestor: &mut Ingestor,
+        manager: &WindowManager,
+        typings: &[Triple],
+    ) {
+        for &t in typings {
+            ingestor.ingest(ChangeEvent::assert(t, "curator"));
+            let commit = ingestor.commit_epoch().expect("non-empty epoch");
+            manager.advance(ingestor.store(), &commit);
+        }
+    }
+
+    #[test]
+    fn windows_track_their_specs() {
+        let (mut ingestor, typings) = seeded();
+        let origin = ingestor.head().unwrap();
+        let manager = WindowManager::new(
+            ingestor.store(),
+            origin,
+            defs(),
+            WindowManagerOptions::default(),
+        );
+        assert_eq!(manager.names(), ["last", "band", "release", "recent"]);
+        // Initially every window is the idle/landmark span over V0.
+        assert_eq!(manager.span("last"), Some((origin, origin)));
+        assert_eq!(manager.span("release"), Some((origin, origin)));
+
+        run_epochs(&mut ingestor, &manager, &typings[..4]);
+        let head = ingestor.head().unwrap();
+        assert_eq!(head.as_u32(), 4);
+        assert_eq!(manager.span("last"), Some((VersionId::from_u32(3), head)));
+        assert_eq!(manager.span("band"), Some((VersionId::from_u32(2), head)));
+        assert_eq!(manager.span("release"), Some((origin, head)));
+        // Store timestamps are 1 (seed) + one per epoch: the anchor of
+        // `Since(3)` freezes at the version committed at clock 3 = V2.
+        assert_eq!(manager.span("recent"), Some((VersionId::from_u32(2), head)));
+        let stats = manager.stats();
+        assert_eq!(stats.epochs, 4);
+        assert_eq!(stats.publishes, 16);
+        assert_eq!(stats.ring_fallbacks, 0);
+    }
+
+    #[test]
+    fn published_contexts_match_batch_builds() {
+        let (mut ingestor, typings) = seeded();
+        let origin = ingestor.head().unwrap();
+        let manager = WindowManager::new(
+            ingestor.store(),
+            origin,
+            defs(),
+            WindowManagerOptions::default(),
+        );
+        run_epochs(&mut ingestor, &manager, &typings);
+        // Rebuild the history into an independent store so the batch
+        // contexts cannot hit the seeded delta cache.
+        let store = ingestor.store();
+        let mut batch = VersionedStore::new();
+        for info in store.versions() {
+            batch.commit_snapshot(info.label.clone(), store.snapshot(info.id).clone());
+        }
+        for (name, _, live) in manager.windows() {
+            let (from, to) = manager.span(name).unwrap();
+            let served = live.current();
+            let direct = EvolutionContext::build(&batch, from, to);
+            assert_eq!(
+                served.fingerprint(),
+                direct.fingerprint(),
+                "window {name} diverged from its batch build"
+            );
+        }
+    }
+
+    #[test]
+    fn sliding_advance_never_rediffs_snapshots() {
+        let (mut ingestor, typings) = seeded();
+        let origin = ingestor.head().unwrap();
+        let manager = WindowManager::new(
+            ingestor.store(),
+            origin,
+            defs(),
+            WindowManagerOptions::default(),
+        );
+        // Warm-up: the first epochs establish each window's span.
+        run_epochs(&mut ingestor, &manager, &typings[..2]);
+        let before = ingestor.store().delta_computations();
+        run_epochs(&mut ingestor, &manager, &typings[2..]);
+        assert_eq!(
+            ingestor.store().delta_computations(),
+            before,
+            "window advances must compose epoch deltas, not re-diff"
+        );
+        assert_eq!(manager.stats().ring_fallbacks, 0);
+    }
+
+    #[test]
+    fn mid_stream_attach_spans_existing_history() {
+        // Build four epochs first, then attach: epoch-counted windows
+        // must cover the existing history, not start empty.
+        let (mut ingestor, typings) = seeded();
+        let origin = ingestor.head().unwrap();
+        for &t in &typings[..4] {
+            ingestor.ingest(ChangeEvent::assert(t, "curator"));
+            ingestor.commit_epoch().expect("non-empty epoch");
+        }
+        let head = ingestor.head().unwrap();
+        assert_eq!(head.as_u32(), 4);
+        let manager = WindowManager::new(
+            ingestor.store(),
+            origin,
+            defs(),
+            WindowManagerOptions::default(),
+        );
+        assert_eq!(manager.span("last"), Some((VersionId::from_u32(3), head)));
+        assert_eq!(manager.span("band"), Some((VersionId::from_u32(2), head)));
+        assert_eq!(manager.span("release"), Some((origin, head)));
+        assert!(!manager.window("last").unwrap().current().delta.is_empty());
+
+        // The next epochs slide correctly from the attached occupancy,
+        // matching a manager that watched the stream from the start.
+        let reference = {
+            let (mut ingestor, typings) = seeded();
+            let origin = ingestor.head().unwrap();
+            let manager = WindowManager::new(
+                ingestor.store(),
+                origin,
+                defs(),
+                WindowManagerOptions::default(),
+            );
+            run_epochs(&mut ingestor, &manager, &typings);
+            let spans: Vec<_> = manager
+                .names()
+                .iter()
+                .map(|n| manager.span(n).unwrap())
+                .collect();
+            spans
+        };
+        run_epochs(&mut ingestor, &manager, &typings[4..]);
+        let spans: Vec<_> = manager
+            .names()
+            .iter()
+            .map(|n| manager.span(n).unwrap())
+            .collect();
+        assert_eq!(spans, reference, "mid-stream attach converges");
+    }
+
+    #[test]
+    fn degenerate_sliding_zero_stays_empty() {
+        let (mut ingestor, typings) = seeded();
+        let origin = ingestor.head().unwrap();
+        let manager = WindowManager::new(
+            ingestor.store(),
+            origin,
+            vec![WindowDef::new("empty", WindowSpec::SlidingEpochs(0))],
+            WindowManagerOptions::default(),
+        );
+        run_epochs(&mut ingestor, &manager, &typings[..3]);
+        let head = ingestor.head().unwrap();
+        assert_eq!(manager.span("empty"), Some((head, head)));
+        let ctx = manager.window("empty").unwrap().current();
+        assert!(ctx.delta.is_empty());
+        assert_eq!(ctx.from, ctx.to);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate window name")]
+    fn duplicate_names_are_rejected() {
+        let (ingestor, _) = seeded();
+        let origin = ingestor.head().unwrap();
+        WindowManager::new(
+            ingestor.store(),
+            origin,
+            vec![
+                WindowDef::new("w", WindowSpec::Landmark),
+                WindowDef::new("w", WindowSpec::LastEpoch),
+            ],
+            WindowManagerOptions::default(),
+        );
+    }
+}

@@ -1,87 +1,158 @@
-//! Curator dashboard: the "deltas vs overviews" story of the paper's
-//! introduction, on a synthetic curated knowledge base with a planted
-//! hotspot.
+//! Curator dashboard over *live* multi-window temporal serving.
 //!
-//! Shows (1) how large the raw delta a curator would otherwise read is,
-//! (2) the high-level change digest, (3) each measure's top regions, and
-//! (4) a personalised, diversity-aware recommendation.
+//! The paper's human-aware premise: different curators care about
+//! change over different horizons. This dashboard streams a synthetic
+//! curated knowledge base (with a planted hotspot) through the
+//! ingestion pipeline while a `WindowManager` maintains four concurrent
+//! views from the same epoch stream — last epoch, a sliding band, a
+//! since-timestamp view, and everything since release — all sharing
+//! one report cache under per-window lineages. It then serves a
+//! personalised recommendation per window and a cross-window trend
+//! diff showing which measures rise or fall as the horizon widens.
 //!
-//! Run with: `cargo run --example curator_dashboard`
+//! Run with: `cargo run --release --example curator_dashboard`
 
-use evorec::core::{category_coverage, Recommender, RecommenderConfig, UserId, UserProfile};
-use evorec::measures::{EvolutionContext, MeasureRegistry};
+use evorec::core::{RecommenderConfig, ReportCache, UserId, UserProfile};
+use evorec::measures::MeasureRegistry;
+use evorec::stream::{EpochSink, IngestorConfig, PipelineOptions, StreamPipeline};
 use evorec::synth::workload::curated_kb;
+use evorec::synth::workload::streamed::{replay, seeded_ingestor, stream_into};
+use evorec::windows::{
+    TrendDirection, WindowDef, WindowManager, WindowManagerOptions, WindowSpec,
+    WindowedRecommender,
+};
+use std::sync::Arc;
 
 fn main() {
     let world = curated_kb(120, 7);
-    let store = &world.kb.store;
-    let ctx = EvolutionContext::build(store, world.base(), world.head());
+    let total_events: usize = replay(&world).iter().map(Vec::len).sum();
 
-    // -- 1. What the curator would otherwise face: the raw delta.
-    println!("=== {} : {} classes, {} base triples ===", world.name, world.classes(), world.kb.base_triples());
-    println!(
-        "raw low-level delta: {} triples (+{} / -{})",
-        ctx.delta.size(),
-        ctx.delta.added_count(),
-        ctx.delta.removed_count()
-    );
-
-    // -- 2. The high-level digest.
-    let mut kinds: Vec<(String, usize)> = ctx
-        .changes
-        .counts_by_kind()
-        .into_iter()
-        .map(|(k, n)| (format!("{k:?}"), n))
-        .collect();
-    kinds.sort_by_key(|(_, count)| std::cmp::Reverse(*count));
-    println!("\nhigh-level changes ({} total):", ctx.changes.len());
-    for (kind, count) in kinds.iter().take(6) {
-        println!("  {kind:24} {count}");
-    }
-
-    // -- 3. Measure overviews: top-3 per measure.
-    let registry = MeasureRegistry::standard();
-    println!("\nmeasure overviews (top 3 each):");
-    for report in registry.compute_all(&ctx) {
-        let tops: Vec<String> = report
-            .top_k(3)
-            .iter()
-            .map(|&(t, s)| format!("{}={:.2}", store.interner().label(t), s))
-            .collect();
-        println!("  {:32} {}", report.measure.to_string(), tops.join(", "));
-    }
-
-    // -- 4. A curator watching the planted hotspot.
-    let hotspot = world.outcomes[1].focus_classes[0];
-    println!(
-        "\nplanted hotspot: {}",
-        store.interner().label(hotspot)
-    );
-    let curator = UserProfile::new(UserId(1), "hotspot-curator").with_interest(hotspot, 1.0);
-    let config = RecommenderConfig {
-        top_k: 5,
-        mmr_lambda: 0.6,
+    // -- 1. One epoch stream, four live windows, one shared cache.
+    let registry = Arc::new(MeasureRegistry::standard());
+    let cache = Arc::new(ReportCache::new());
+    let ingestor = seeded_ingestor(&world, IngestorConfig {
+        max_batch: 128,
         ..Default::default()
-    };
-    let recommender = Recommender::new(registry, config);
-    let rec = recommender.recommend(&ctx, &curator);
-    println!(
-        "\nrecommended package ({} candidates considered):",
-        rec.candidates_considered
+    });
+    let origin = ingestor.head().expect("seeded history");
+    let manager = Arc::new(WindowManager::new(
+        ingestor.store(),
+        origin,
+        vec![
+            WindowDef::new("last-epoch", WindowSpec::LastEpoch),
+            WindowDef::new("band-of-3", WindowSpec::SlidingEpochs(3)),
+            WindowDef::new("since-t2", WindowSpec::Since(2)),
+            WindowDef::new("since-release", WindowSpec::Landmark),
+        ],
+        WindowManagerOptions {
+            serving: Some((Arc::clone(&registry), Arc::clone(&cache))),
+            ..Default::default()
+        },
+    ));
+    let pipeline = StreamPipeline::spawn(
+        ingestor,
+        PipelineOptions {
+            serving: Some((Arc::clone(&registry), Arc::clone(&cache))),
+            sinks: vec![Arc::clone(&manager) as Arc<dyn EpochSink>],
+            ..Default::default()
+        },
     );
-    let items: Vec<_> = rec.items.iter().map(|s| s.item.clone()).collect();
-    for scored in &rec.items {
+    println!(
+        "=== {} : {} classes, streaming {} events ===",
+        world.name,
+        world.classes(),
+        total_events
+    );
+    stream_into(&world, pipeline.log());
+    let ingestor = pipeline.shutdown();
+    manager.wait_for_warm();
+    let mstats = manager.stats();
+    println!(
+        "pipeline committed {} epochs; window manager published {} contexts \
+         ({} snapshot diffs by the store — window advances compose deltas)",
+        mstats.epochs,
+        mstats.publishes,
+        ingestor.store().delta_computations()
+    );
+
+    // -- 2. What each horizon sees.
+    println!("\nlive windows (one epoch stream, four horizons):");
+    for (name, spec, live) in manager.windows() {
+        let ctx = live.current();
         println!(
-            "  {:32} focus {:12} relevance {:.3} intensity {:.2}",
-            scored.item.measure.to_string(),
-            store.interner().label(scored.item.focus),
-            scored.relevance,
-            scored.item.intensity
+            "  {:14} [{:18}] {}→{}  |δ| = {:4} (+{} / -{})",
+            name,
+            spec.to_string(),
+            ctx.from,
+            ctx.to,
+            ctx.delta.size(),
+            ctx.delta.added_count(),
+            ctx.delta.removed_count()
         );
     }
-    let selection: Vec<usize> = (0..items.len()).collect();
-    println!(
-        "\npackage category coverage: {:.0}%  (diversity, §III(c))",
-        category_coverage(&items, &selection) * 100.0
+
+    // -- 3. A curator watching the planted hotspot, served per window.
+    let store = ingestor.store();
+    let hotspot = world.outcomes[1].focus_classes[0];
+    println!("\nplanted hotspot: {}", store.interner().label(hotspot));
+    let curator = UserProfile::new(UserId(1), "hotspot-curator").with_interest(hotspot, 1.0);
+    let served = WindowedRecommender::new(
+        Arc::clone(&manager),
+        MeasureRegistry::standard(),
+        RecommenderConfig {
+            top_k: 3,
+            mmr_lambda: 0.6,
+            ..Default::default()
+        },
     );
+    for (window, recommendation) in served.recommend_all(&curator) {
+        println!(
+            "\n  {window} ({} candidates considered):",
+            recommendation.candidates_considered
+        );
+        for scored in &recommendation.items {
+            println!(
+                "    {:32} focus {:12} relevance {:.3} intensity {:.2}",
+                scored.item.measure.to_string(),
+                store.interner().label(scored.item.focus),
+                scored.relevance,
+                scored.item.intensity
+            );
+        }
+    }
+
+    // -- 4. The cross-window trend diff: which measures rise or fall
+    //       as the horizon widens from the last epoch to the release.
+    let diff = served.trend_diff(&curator);
+    println!(
+        "\ntrend diff across horizons (narrow → wide: {}):",
+        diff.windows.join(" → ")
+    );
+    for (direction, tag) in [
+        (TrendDirection::Rising, "rising (persistent signal)"),
+        (TrendDirection::Falling, "falling (recent burst)"),
+    ] {
+        let trends: Vec<String> = diff
+            .with_direction(direction)
+            .take(3)
+            .map(|t| format!("{} ({:+.3})", t.measure, t.shift))
+            .collect();
+        if !trends.is_empty() {
+            println!("  {tag:28} {}", trends.join(", "));
+        }
+    }
+
+    // -- 5. Shared-cache accounting: every window serves warm, under
+    //       its own lineage.
+    let stats = cache.stats();
+    println!(
+        "\nreport cache: {} hits / {} misses ({} invalidated on epoch swaps)",
+        stats.hits, stats.misses, stats.invalidations
+    );
+    for lineage in &stats.lineages {
+        println!(
+            "  lineage {:14} {:6} hits, {:5} invalidations",
+            lineage.label, lineage.hits, lineage.invalidations
+        );
+    }
 }

@@ -18,6 +18,7 @@
 //! | [`measures`] | `evorec-measures` | the §II evolution-measure catalogue |
 //! | [`core`] | `evorec-core` | the §III recommender (this paper's contribution) |
 //! | [`stream`] | `evorec-stream` | streaming ingestion: event log, micro-batch epochs, live contexts |
+//! | [`windows`] | `evorec-windows` | multi-window temporal serving: one epoch stream, many live views |
 //! | [`synth`] | `evorec-synth` | synthetic KB / evolution / population workloads |
 //!
 //! ## Quickstart
@@ -49,3 +50,4 @@ pub use evorec_measures as measures;
 pub use evorec_stream as stream;
 pub use evorec_synth as synth;
 pub use evorec_versioning as versioning;
+pub use evorec_windows as windows;

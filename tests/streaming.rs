@@ -21,11 +21,14 @@ fn t(n: u32) -> TermId {
 
 /// A random three-version store: subclass edges in V0, one instance
 /// churn batch landing in V1, a second (possibly overlapping, possibly
-/// removing) batch landing in V2.
+/// removing) batch plus instance-level property links landing in V2.
+/// The links change class adjacency in the union graph — the case the
+/// neighbourhood measure's incremental hook must ripple through.
 fn random_world(
     edges: &[(u32, u32)],
     churn1: &[(u32, u32)],
     churn2: &[(u32, u32, bool)],
+    links2: &[(u32, u32, u32, bool)],
 ) -> (VersionedStore, [VersionId; 3]) {
     let mut vs = VersionedStore::new();
     let v = *vs.vocab();
@@ -34,6 +37,9 @@ fn random_world(
         .collect();
     let insts: Vec<TermId> = (0..40)
         .map(|i| vs.intern_iri(format!("http://x/i{i}")))
+        .collect();
+    let props: Vec<TermId> = (0..4)
+        .map(|i| vs.intern_iri(format!("http://x/p{i}")))
         .collect();
     let mut s0 = TripleStore::new();
     for &(a, b) in edges {
@@ -58,6 +64,18 @@ fn random_world(
             insts[(i % 40) as usize],
             v.rdf_type,
             classes[(class % 20) as usize],
+        );
+        if add {
+            s2.insert(triple);
+        } else {
+            s2.remove(&triple);
+        }
+    }
+    for &(i, j, p, add) in links2 {
+        let triple = Triple::new(
+            insts[(i % 40) as usize],
+            props[(p % 4) as usize],
+            insts[(j % 40) as usize],
         );
         if add {
             s2.insert(triple);
@@ -92,8 +110,9 @@ proptest! {
         edges in prop::collection::vec((0u32..20, 0u32..20), 0..30),
         churn1 in prop::collection::vec((0u32..40, 0u32..20), 1..25),
         churn2 in prop::collection::vec((0u32..40, 0u32..20, any::<bool>()), 1..25),
+        links2 in prop::collection::vec((0u32..40, 0u32..40, 0u32..4, any::<bool>()), 0..15),
     ) {
-        let (vs, versions) = random_world(&edges, &churn1, &churn2);
+        let (vs, versions) = random_world(&edges, &churn1, &churn2, &links2);
         // The ingestor deliberately skips net-zero epochs, while a
         // batch history can still contain an idle step (churn2 may
         // cancel to nothing) — step-for-step equivalence is only
@@ -155,8 +174,9 @@ proptest! {
         edges in prop::collection::vec((0u32..20, 0u32..20), 0..30),
         churn1 in prop::collection::vec((0u32..40, 0u32..20), 1..25),
         churn2 in prop::collection::vec((0u32..40, 0u32..20, any::<bool>()), 1..25),
+        links2 in prop::collection::vec((0u32..40, 0u32..40, 0u32..4, any::<bool>()), 0..15),
     ) {
-        let (vs, [v0, v1, v2]) = random_world(&edges, &churn1, &churn2);
+        let (vs, [v0, v1, v2]) = random_world(&edges, &churn1, &churn2, &links2);
         let registry = MeasureRegistry::extended();
         let prev_ctx = EvolutionContext::build(&vs, v0, v1);
         let next_ctx = EvolutionContext::build(&vs, v0, v2);

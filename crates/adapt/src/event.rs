@@ -1,0 +1,159 @@
+//! Curator-feedback events: the unit of online adaptation.
+
+use evorec_core::{FeedbackSignal, Item, UserId};
+use std::sync::Arc;
+
+/// How a curator reacted to one recommended item.
+///
+/// Richer than the offline [`FeedbackSignal`] taxonomy: explicit
+/// accept/reject verdicts are joined by the two implicit signals a
+/// serving surface actually observes — *dwell* (the curator lingered on
+/// the item long enough to have read it) and *dismiss* (swiped it away
+/// without engaging). Each reaction maps onto a profile-update signal
+/// via [`signal`](Reaction::signal) and onto a bandit reward via
+/// [`reward`](Reaction::reward).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Reaction {
+    /// The curator explicitly used the recommendation.
+    Accept,
+    /// The curator lingered on the item — implicit engagement.
+    Dwell,
+    /// The curator swiped the item away without engaging.
+    Dismiss,
+    /// The curator explicitly rejected the recommendation.
+    Reject,
+}
+
+impl Reaction {
+    /// The profile-update signal this reaction feeds to the
+    /// [`FeedbackLoop`](evorec_core::FeedbackLoop): engagement (accept
+    /// or dwell) strengthens interest, an explicit reject weakens it,
+    /// and a dismissal is the weak negative the loop's ignore discount
+    /// models.
+    pub fn signal(self) -> FeedbackSignal {
+        match self {
+            Reaction::Accept | Reaction::Dwell => FeedbackSignal::Accepted,
+            Reaction::Reject => FeedbackSignal::Rejected,
+            Reaction::Dismiss => FeedbackSignal::Ignored,
+        }
+    }
+
+    /// The exploration reward in `[0, 1]` this reaction earns the
+    /// item's measure: full credit for an explicit accept, partial for
+    /// a dwell, near-nothing for a dismissal, nothing for a reject.
+    pub fn reward(self) -> f64 {
+        match self {
+            Reaction::Accept => 1.0,
+            Reaction::Dwell => 0.6,
+            Reaction::Dismiss => 0.15,
+            Reaction::Reject => 0.0,
+        }
+    }
+
+    /// `true` when the reaction counts as engagement (accept or dwell).
+    pub fn is_positive(self) -> bool {
+        matches!(self, Reaction::Accept | Reaction::Dwell)
+    }
+}
+
+impl std::fmt::Display for Reaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Reaction::Accept => "accept",
+            Reaction::Dwell => "dwell",
+            Reaction::Dismiss => "dismiss",
+            Reaction::Reject => "reject",
+        })
+    }
+}
+
+/// One curator's reaction to one served item, with session and serving
+/// provenance — the payload of the adaptation subsystem's feedback
+/// stream (a [`BoundedLog`](evorec_stream::BoundedLog), reusing the
+/// ingestion log's MPSC idiom).
+///
+/// The window name rides as a shared `Arc<str>` for the same reason a
+/// [`ChangeEvent`](evorec_stream::ChangeEvent)'s actor does: a surface
+/// emitting thousands of reactions clones a pointer, not a string.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FeedbackEvent {
+    /// Who reacted.
+    pub user: UserId,
+    /// The item they reacted to.
+    pub item: Item,
+    /// How they reacted.
+    pub reaction: Reaction,
+    /// The serving session the reaction belongs to (0 when the surface
+    /// does not track sessions).
+    pub session: u64,
+    /// The temporal window the item was served from, when the surface
+    /// serves several horizons.
+    pub window: Option<Arc<str>>,
+}
+
+impl FeedbackEvent {
+    /// A reaction with no session or window provenance.
+    pub fn new(user: UserId, item: Item, reaction: Reaction) -> FeedbackEvent {
+        FeedbackEvent {
+            user,
+            item,
+            reaction,
+            session: 0,
+            window: None,
+        }
+    }
+
+    /// Builder-style: tag the serving session.
+    pub fn in_session(mut self, session: u64) -> FeedbackEvent {
+        self.session = session;
+        self
+    }
+
+    /// Builder-style: tag the serving window.
+    pub fn from_window(mut self, window: impl Into<Arc<str>>) -> FeedbackEvent {
+        self.window = Some(window.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evorec_kb::TermId;
+    use evorec_measures::{MeasureCategory, MeasureId};
+
+    fn item() -> Item {
+        Item::new(
+            MeasureId::new("m"),
+            MeasureCategory::ChangeCounting,
+            TermId::from_u32(1),
+            0.5,
+        )
+    }
+
+    #[test]
+    fn signals_and_rewards_are_ordered() {
+        assert_eq!(Reaction::Accept.signal(), FeedbackSignal::Accepted);
+        assert_eq!(Reaction::Dwell.signal(), FeedbackSignal::Accepted);
+        assert_eq!(Reaction::Reject.signal(), FeedbackSignal::Rejected);
+        assert_eq!(Reaction::Dismiss.signal(), FeedbackSignal::Ignored);
+        assert!(Reaction::Accept.reward() > Reaction::Dwell.reward());
+        assert!(Reaction::Dwell.reward() > Reaction::Dismiss.reward());
+        assert!(Reaction::Dismiss.reward() > Reaction::Reject.reward());
+        assert!(Reaction::Accept.is_positive());
+        assert!(!Reaction::Dismiss.is_positive());
+    }
+
+    #[test]
+    fn provenance_builders_tag_events() {
+        let e = FeedbackEvent::new(UserId(3), item(), Reaction::Accept)
+            .in_session(7)
+            .from_window("last-epoch");
+        assert_eq!(e.session, 7);
+        assert_eq!(e.window.as_deref(), Some("last-epoch"));
+        assert_eq!(e.reaction.to_string(), "accept");
+        let bare = FeedbackEvent::new(UserId(3), item(), Reaction::Dwell);
+        assert_eq!(bare.session, 0);
+        assert!(bare.window.is_none());
+    }
+}

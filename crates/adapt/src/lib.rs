@@ -1,0 +1,44 @@
+//! # evorec-adapt — the online adaptation subsystem
+//!
+//! The paper's core claim is *human-aware* recommendation: what to show
+//! a curator depends on who they are and how they reacted to what was
+//! shown before. This crate closes that loop online, against the
+//! streaming serving stack:
+//!
+//! - [`FeedbackEvent`] / [`Reaction`] — curator reactions (accept,
+//!   dwell, dismiss, reject) with session and window provenance,
+//!   flowing through a bounded [`FeedbackLog`] (the ingestion log's
+//!   MPSC idiom, reused);
+//! - [`AdaptWorker`] — drains the stream in micro-batches and folds it
+//!   into the live state;
+//! - [`ProfileStore`] — sharded, atomic-swap published
+//!   [`UserProfile`](evorec_core::UserProfile) snapshots (readers never
+//!   block, mirroring `LiveContext`), updated through the same
+//!   [`FeedbackLoop`](evorec_core::FeedbackLoop) arithmetic a batch
+//!   replay would use, with interest decay on an epoch clock;
+//! - [`BanditBook`] / [`ExplorationPolicy`] — per-measure
+//!   exposure/acceptance accounting with [`EpsilonGreedy`] and
+//!   [`ThompsonBeta`] policies, blended into MMR through the
+//!   recommender's [`ScoreBoost`](evorec_core::ScoreBoost) extension
+//!   point ([`NoExploration`] keeps serving bit-identical to the plain
+//!   [`WindowedRecommender`](evorec_windows::WindowedRecommender));
+//! - [`AdaptiveRecommender`] — the serve-observe-update facade, an
+//!   [`EpochSink`](evorec_stream::EpochSink) so decay ticks with the
+//!   epoch stream.
+
+#![warn(missing_docs)]
+
+mod bandit;
+mod event;
+mod recommender;
+mod store;
+mod worker;
+
+pub use bandit::{
+    BanditBook, EpsilonGreedy, ExplorationBoost, ExplorationPolicy, MeasureStats, NoExploration,
+    ThompsonBeta,
+};
+pub use event::{FeedbackEvent, Reaction};
+pub use recommender::{AdaptiveOptions, AdaptiveRecommender, AdaptiveStats};
+pub use store::{decay_interests, ProfileStore, ProfileStoreOptions, ProfileStoreStats};
+pub use worker::{AdaptStats, AdaptWorker, FeedbackLog};

@@ -1,0 +1,259 @@
+//! The adaptive serving facade: one serve-observe-update loop.
+//!
+//! [`AdaptiveRecommender`] wires the live pieces together: profiles are
+//! read from the [`ProfileStore`] (atomic snapshots, never blocking on
+//! an update), recommendations are served through a
+//! [`WindowedRecommender`] with the active [`ExplorationPolicy`]'s
+//! bonuses blended into the MMR objective, and curator reactions flow
+//! back through a bounded feedback log that an [`AdaptWorker`] folds
+//! into the store and the bandit ledger. Hang the facade off a
+//! [`StreamPipeline`](evorec_stream::StreamPipeline) as an epoch sink
+//! and profile interests decay on the same epoch clock the contexts
+//! advance on.
+
+use crate::bandit::{BanditBook, ExplorationBoost, ExplorationPolicy, NoExploration};
+use crate::event::FeedbackEvent;
+use crate::store::{ProfileStore, ProfileStoreOptions, ProfileStoreStats};
+use crate::worker::{AdaptStats, AdaptWorker, FeedbackLog};
+use evorec_core::{Recommendation, UserId, UserProfile};
+use evorec_measures::MeasureId;
+use evorec_stream::{BoundedLog, EpochCommit, EpochSink, LogClosed};
+use evorec_versioning::VersionedStore;
+use evorec_windows::WindowedRecommender;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Construction options of an [`AdaptiveRecommender`].
+#[derive(Clone)]
+pub struct AdaptiveOptions {
+    /// Capacity of the bounded feedback log (backpressure bound).
+    pub feedback_capacity: usize,
+    /// Micro-batch size of the adaptation worker.
+    pub max_batch: usize,
+    /// The exploration policy blended into serving.
+    /// [`NoExploration`] (the default) keeps every serving bit-identical
+    /// to the underlying [`WindowedRecommender`].
+    pub policy: Arc<dyn ExplorationPolicy>,
+    /// Weight of the exploration bonus in the selection objective.
+    /// `0.0` also disables boosting entirely.
+    pub exploration_weight: f64,
+    /// Profile-store shape (shards, feedback loop, decay).
+    pub store: ProfileStoreOptions,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            feedback_capacity: 1024,
+            max_batch: 64,
+            policy: Arc::new(NoExploration),
+            exploration_weight: 0.25,
+            store: ProfileStoreOptions::default(),
+        }
+    }
+}
+
+/// A point-in-time view of the whole subsystem's counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct AdaptiveStats {
+    /// Recommendations served.
+    pub serves: u64,
+    /// Servings that blended an exploration bonus.
+    pub explored_serves: u64,
+    /// Worker counters (events, batches, per-reaction tallies).
+    pub worker: AdaptStats,
+    /// Profile-store counters.
+    pub store: ProfileStoreStats,
+    /// Bandit observations recorded.
+    pub observations: u64,
+}
+
+/// Serve → observe → update, online.
+pub struct AdaptiveRecommender {
+    served: Arc<WindowedRecommender>,
+    store: Arc<ProfileStore>,
+    book: Arc<BanditBook>,
+    log: Arc<FeedbackLog>,
+    worker: AdaptWorker,
+    policy: Arc<dyn ExplorationPolicy>,
+    weight: f64,
+    catalogue: Vec<MeasureId>,
+    serves: AtomicU64,
+    explored: AtomicU64,
+}
+
+impl AdaptiveRecommender {
+    /// Build over `served`, seeding the profile store with `profiles`
+    /// and starting the adaptation worker.
+    pub fn new(
+        served: Arc<WindowedRecommender>,
+        profiles: impl IntoIterator<Item = UserProfile>,
+        options: AdaptiveOptions,
+    ) -> AdaptiveRecommender {
+        let store = Arc::new(ProfileStore::new(options.store));
+        store.seed(profiles);
+        let book = Arc::new(BanditBook::new());
+        let log: Arc<FeedbackLog> = Arc::new(BoundedLog::bounded(options.feedback_capacity));
+        let worker = AdaptWorker::spawn(
+            Arc::clone(&log),
+            Arc::clone(&store),
+            Arc::clone(&book),
+            options.max_batch,
+        );
+        let catalogue = served.recommender().registry().ids();
+        AdaptiveRecommender {
+            served,
+            store,
+            book,
+            log,
+            worker,
+            policy: options.policy,
+            weight: options.exploration_weight.max(0.0),
+            catalogue,
+            serves: AtomicU64::new(0),
+            explored: AtomicU64::new(0),
+        }
+    }
+
+    /// Serve one recommendation for `user` against `window`'s current
+    /// context. The profile snapshot is whatever the store has already
+    /// published — in-flight feedback lands on later servings (call
+    /// [`sync`](AdaptiveRecommender::sync) first to force it in).
+    ///
+    /// With exploration off ([`NoExploration`] or a zero weight) the
+    /// answer is bit-identical to
+    /// [`WindowedRecommender::recommend`] over the same profile.
+    pub fn serve(&self, window: &str, user: UserId) -> Option<Recommendation> {
+        // Unknown windows answer nothing — and leave no trace: no
+        // serve counted, no phantom profile created.
+        let ctx = self.served.context(window)?;
+        // Serving is read-only: an unseeded user is answered from a
+        // transient blank profile (bit-identical to a stored blank
+        // one) and only enters the store once feedback arrives.
+        let profile = self
+            .store
+            .get(user)
+            .unwrap_or_else(|| Arc::new(UserProfile::new(user, user.to_string())));
+        let serve_ix = self.serves.fetch_add(1, Ordering::Relaxed);
+        let recommender = self.served.recommender();
+        if self.weight == 0.0 || !self.policy.is_active() {
+            return Some(recommender.recommend(&ctx, &profile));
+        }
+        let bonuses = self
+            .book
+            .with_stats(|stats| self.policy.bonuses(stats, &self.catalogue, serve_ix));
+        if bonuses.is_empty() {
+            // Nothing to blend (e.g. an exploit round over a cold
+            // ledger): take — and count — the plain path.
+            return Some(recommender.recommend(&ctx, &profile));
+        }
+        self.explored.fetch_add(1, Ordering::Relaxed);
+        let boost = ExplorationBoost::new(bonuses, self.weight);
+        Some(recommender.recommend_with_boost(&ctx, &profile, Some(&boost)))
+    }
+
+    /// Enqueue one curator reaction (blocking under backpressure). The
+    /// worker applies it asynchronously; the event is handed back if
+    /// the subsystem is already shut down.
+    pub fn observe(&self, event: FeedbackEvent) -> Result<(), LogClosed<FeedbackEvent>> {
+        self.log.push(event)
+    }
+
+    /// Enqueue a batch of reactions, in order.
+    pub fn observe_all(
+        &self,
+        events: impl IntoIterator<Item = FeedbackEvent>,
+    ) -> Result<(), LogClosed<FeedbackEvent>> {
+        for event in events {
+            self.observe(event)?;
+        }
+        Ok(())
+    }
+
+    /// Block until every reaction observed before this call is folded
+    /// into the profile store and the bandit ledger.
+    pub fn sync(&self) {
+        self.worker.flush();
+    }
+
+    /// Advance the profile store's epoch clock (interest decay). Wired
+    /// automatically when the facade is attached as an
+    /// [`EpochSink`].
+    pub fn advance_epoch(&self) {
+        self.store.decay_epoch();
+    }
+
+    /// The current snapshot of `user`'s profile.
+    pub fn profile(&self, user: UserId) -> Option<Arc<UserProfile>> {
+        self.store.get(user)
+    }
+
+    /// The live profile store.
+    pub fn store(&self) -> &Arc<ProfileStore> {
+        &self.store
+    }
+
+    /// The bandit ledger.
+    pub fn book(&self) -> &Arc<BanditBook> {
+        &self.book
+    }
+
+    /// The windowed recommender served through.
+    pub fn windowed(&self) -> &Arc<WindowedRecommender> {
+        &self.served
+    }
+
+    /// The catalogue the exploration policies score over.
+    pub fn catalogue(&self) -> &[MeasureId] {
+        &self.catalogue
+    }
+
+    /// Counters across the whole subsystem.
+    pub fn stats(&self) -> AdaptiveStats {
+        AdaptiveStats {
+            serves: self.serves.load(Ordering::Relaxed),
+            explored_serves: self.explored.load(Ordering::Relaxed),
+            worker: self.worker.stats(),
+            store: self.store.stats(),
+            observations: self.book.observations(),
+        }
+    }
+
+    /// Close the feedback log, drain it, join the worker, and hand the
+    /// final counters back.
+    pub fn shutdown(self) -> AdaptiveStats {
+        let serves = self.serves.load(Ordering::Relaxed);
+        let explored = self.explored.load(Ordering::Relaxed);
+        let store = Arc::clone(&self.store);
+        let book = Arc::clone(&self.book);
+        let worker_stats = self.worker.shutdown();
+        AdaptiveStats {
+            serves,
+            explored_serves: explored,
+            worker: worker_stats,
+            store: store.stats(),
+            observations: book.observations(),
+        }
+    }
+}
+
+/// Epoch commits tick the profile store's decay clock: attach the
+/// facade to [`PipelineOptions::sinks`](evorec_stream::PipelineOptions)
+/// and interests fade in lock-step with the contexts advancing.
+impl EpochSink for AdaptiveRecommender {
+    fn on_epoch(&self, _store: &VersionedStore, _commit: &EpochCommit) {
+        self.advance_epoch();
+    }
+}
+
+impl std::fmt::Debug for AdaptiveRecommender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveRecommender")
+            .field("store", &self.store)
+            .field("book", &self.book)
+            .field("exploring", &self.policy.is_active())
+            .field("weight", &self.weight)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

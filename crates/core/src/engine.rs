@@ -86,6 +86,21 @@ pub struct GroupRecommendation {
     pub cache_stats: Option<CacheStats>,
 }
 
+/// A hook adjusting a candidate's effective relevance just before MMR
+/// selection — the extension point exploration-aware serving (the
+/// online adaptation subsystem's bandit policies) plugs into.
+///
+/// The boost sees the candidate [`Item`] and its effective score
+/// (relevance × novelty adjustment) and returns the value the selector
+/// should optimise instead. Reported `relevance` and `novelty` stay
+/// raw; only the selection objective moves. Implementations must be
+/// deterministic per call for reproducible servings — any randomness
+/// belongs to the caller's seeding discipline, not this trait.
+pub trait ScoreBoost {
+    /// The adjusted effective score of `item`.
+    fn boost(&self, item: &Item, effective: f64) -> f64;
+}
+
 /// The human-aware evolution-measure recommender (the paper's §III
 /// processing model), optionally backed by a shared [`ReportCache`] so
 /// repeated requests over the same evolution step skip measure
@@ -256,8 +271,14 @@ impl Recommender {
         profile: &UserProfile,
         items: &[Item],
         distances: &DistanceMatrix,
+        boost: Option<&dyn ScoreBoost>,
     ) -> Recommendation {
-        let (relevance, novelty, effective) = self.score_items(ctx, profile, items);
+        let (relevance, novelty, mut effective) = self.score_items(ctx, profile, items);
+        if let Some(boost) = boost {
+            for (item, score) in items.iter().zip(effective.iter_mut()) {
+                *score = boost.boost(item, *score);
+            }
+        }
         let picks = select_mmr(&effective, distances, self.config.top_k, self.config.mmr_lambda);
         let mut selection: Vec<usize> = picks.iter().map(|&(i, _)| i).collect();
         if self.config.swap_passes > 0 {
@@ -293,6 +314,19 @@ impl Recommender {
 
     /// Recommend `top_k` items for one user.
     pub fn recommend(&self, ctx: &EvolutionContext, profile: &UserProfile) -> Recommendation {
+        self.recommend_with_boost(ctx, profile, None)
+    }
+
+    /// Recommend with an optional [`ScoreBoost`] steering the selection
+    /// objective. `None` is exactly [`recommend`](Recommender::recommend)
+    /// — bit for bit, so exploration-off serving stays deterministic and
+    /// cache-identical.
+    pub fn recommend_with_boost(
+        &self,
+        ctx: &EvolutionContext,
+        profile: &UserProfile,
+        boost: Option<&dyn ScoreBoost>,
+    ) -> Recommendation {
         let derived = self.derived(ctx);
         if derived.items.is_empty() {
             return Recommendation {
@@ -301,7 +335,7 @@ impl Recommender {
                 cache_stats: self.cache_snapshot(),
             };
         }
-        self.select_for_profile(ctx, profile, &derived.items, derived.distances())
+        self.select_for_profile(ctx, profile, &derived.items, derived.distances(), boost)
     }
 
     /// Answer many profiles against one context: the candidate pool and
@@ -533,7 +567,7 @@ impl BatchRecommender<'_> {
         }
         let distances = derived.distances();
         fan_out(profiles, self.threads, |p| {
-            r.select_for_profile(ctx, p, &derived.items, distances)
+            r.select_for_profile(ctx, p, &derived.items, distances, None)
         })
     }
 
@@ -850,6 +884,55 @@ mod tests {
         assert_eq!(keys(&direct), keys(&batched));
         assert_eq!(direct.fairness.jain_index, batched.fairness.jain_index);
         assert_eq!(direct.strategy, batched.strategy);
+    }
+
+    #[test]
+    fn boost_none_is_bit_identical_and_some_steers_selection() {
+        let w = world();
+        let r = recommender();
+        let profile = UserProfile::new(UserId(1), "a").with_interest(w.leaf_a, 1.0);
+        let plain = r.recommend(&w.ctx, &profile);
+        let unboosted = r.recommend_with_boost(&w.ctx, &profile, None);
+        let detail = |rec: &Recommendation| {
+            rec.items
+                .iter()
+                .map(|s| {
+                    (
+                        s.item.measure.as_str().to_string(),
+                        s.item.focus,
+                        s.relevance,
+                        s.novelty,
+                        s.objective,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(detail(&plain), detail(&unboosted), "None must not perturb");
+
+        // A boost that flattens everything except one measure forces
+        // that measure to the top pick.
+        struct Only(MeasureId);
+        impl ScoreBoost for Only {
+            fn boost(&self, item: &Item, effective: f64) -> f64 {
+                if item.measure == self.0 {
+                    effective + 10.0
+                } else {
+                    effective
+                }
+            }
+        }
+        let target = plain
+            .items
+            .last()
+            .map(|s| s.item.measure.clone())
+            .expect("non-empty recommendation");
+        let steered = r.recommend_with_boost(&w.ctx, &profile, Some(&Only(target.clone())));
+        assert_eq!(
+            steered.items[0].item.measure, target,
+            "boosted measure wins the selection objective"
+        );
+        // Raw relevance stays untouched; only the objective moved.
+        assert!(steered.items[0].objective > steered.items[0].relevance + 5.0);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub use diversity::{
 };
 pub use engine::{
     BatchRecommender, GroupRecommendation, Recommendation, Recommender, RecommenderConfig,
+    ScoreBoost,
 };
 pub use fairness::{
     fairness_report, select_for_group, FairnessReport, GroupAggregation, RelevanceMatrix,

@@ -117,6 +117,7 @@ impl_tuple_strategy! {
     (A / 0, B / 1)
     (A / 0, B / 1, C / 2)
     (A / 0, B / 1, C / 2, D / 3)
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
 }
 
 /// String-literal regex strategies of the shape `[class]{n}` or

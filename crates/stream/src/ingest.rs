@@ -233,6 +233,14 @@ impl Ingestor {
         &self.store
     }
 
+    /// Advance the store's logical commit clock without committing —
+    /// a quiet stream ageing its history (see
+    /// [`VersionedStore::advance_clock`]). Time-anchored serving
+    /// windows narrow over the gap; epoch-counted ones are unaffected.
+    pub fn advance_clock(&mut self, ticks: u64) {
+        self.store.advance_clock(ticks);
+    }
+
     /// The provenance ledger documenting every epoch.
     pub fn ledger(&self) -> &ProvenanceLedger {
         &self.ledger

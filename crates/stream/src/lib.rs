@@ -36,5 +36,5 @@ mod pipeline;
 pub use event::{ChangeEvent, ChangeOp};
 pub use ingest::{EpochCommit, IngestStats, Ingestor, IngestorConfig};
 pub use live::{LiveContext, ServingHandles};
-pub use log::{EventLog, LogClosed, LogStats, TryPushError};
+pub use log::{BoundedLog, EventLog, LogClosed, LogStats, TryPushError};
 pub use pipeline::{EpochSink, PipelineOptions, StreamPipeline};

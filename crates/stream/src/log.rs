@@ -1,51 +1,56 @@
-//! The bounded, multi-producer event log feeding the ingestor.
+//! The bounded, multi-producer log feeding stream consumers.
 //!
 //! A classic bounded MPSC queue built on `std::sync::{Mutex, Condvar}`:
-//! producers [`push`](EventLog::push) and *block* when the log is full
-//! (backpressure — a slow ingestor throttles its sources instead of the
+//! producers [`push`](BoundedLog::push) and *block* when the log is full
+//! (backpressure — a slow consumer throttles its sources instead of the
 //! log growing without bound), the consumer drains micro-batches with
-//! [`pop_batch`](EventLog::pop_batch). Closing the log wakes everyone:
+//! [`pop_batch`](BoundedLog::pop_batch). Closing the log wakes everyone:
 //! pushes start failing, pops drain what is left and then return empty.
+//!
+//! The queue is generic over its payload: [`EventLog`] (over
+//! [`ChangeEvent`]) feeds the ingestor; the online adaptation subsystem
+//! reuses the same [`BoundedLog`] for its curator-feedback stream.
 
 use crate::event::ChangeEvent;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
-/// Error returned by [`EventLog::push`] on a closed log; carries the
-/// rejected event back to the producer.
+/// Error returned by [`BoundedLog::push`] on a closed log; carries the
+/// rejected payload back to the producer.
 #[derive(Debug)]
-pub struct LogClosed(pub ChangeEvent);
+pub struct LogClosed<T>(pub T);
 
-impl std::fmt::Display for LogClosed {
+impl<T> std::fmt::Display for LogClosed<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("event log is closed")
+        f.write_str("log is closed")
     }
 }
 
-impl std::error::Error for LogClosed {}
+impl<T: std::fmt::Debug> std::error::Error for LogClosed<T> {}
 
-/// Error returned by [`EventLog::try_push`]; carries the rejected event.
+/// Error returned by [`BoundedLog::try_push`]; carries the rejected
+/// payload.
 #[derive(Debug)]
-pub enum TryPushError {
+pub enum TryPushError<T> {
     /// The log is at capacity; retry later or use the blocking
-    /// [`EventLog::push`].
-    Full(ChangeEvent),
-    /// The log is closed; the event can never be delivered.
-    Closed(ChangeEvent),
+    /// [`BoundedLog::push`].
+    Full(T),
+    /// The log is closed; the payload can never be delivered.
+    Closed(T),
 }
 
-impl std::fmt::Display for TryPushError {
+impl<T> std::fmt::Display for TryPushError<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
-            TryPushError::Full(_) => "event log is full",
-            TryPushError::Closed(_) => "event log is closed",
+            TryPushError::Full(_) => "log is full",
+            TryPushError::Closed(_) => "log is closed",
         })
     }
 }
 
-impl std::error::Error for TryPushError {}
+impl<T: std::fmt::Debug> std::error::Error for TryPushError<T> {}
 
-/// Cumulative counters of an [`EventLog`].
+/// Cumulative counters of a [`BoundedLog`].
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct LogStats {
     /// Events accepted into the log.
@@ -58,25 +63,28 @@ pub struct LogStats {
     pub producer_waits: u64,
 }
 
-struct LogState {
-    queue: VecDeque<ChangeEvent>,
+struct LogState<T> {
+    queue: VecDeque<T>,
     closed: bool,
     stats: LogStats,
 }
 
-/// A bounded, thread-safe, multi-producer single-consumer event queue.
-pub struct EventLog {
-    state: Mutex<LogState>,
+/// A bounded, thread-safe, multi-producer single-consumer queue.
+pub struct BoundedLog<T> {
+    state: Mutex<LogState<T>>,
     capacity: usize,
     not_full: Condvar,
     not_empty: Condvar,
 }
 
-impl EventLog {
-    /// A log holding at most `capacity` undelivered events (clamped to
+/// The change-event log feeding the ingestor.
+pub type EventLog = BoundedLog<ChangeEvent>;
+
+impl<T> BoundedLog<T> {
+    /// A log holding at most `capacity` undelivered entries (clamped to
     /// at least 1).
-    pub fn bounded(capacity: usize) -> EventLog {
-        EventLog {
+    pub fn bounded(capacity: usize) -> BoundedLog<T> {
+        BoundedLog {
             state: Mutex::new(LogState {
                 queue: VecDeque::new(),
                 closed: false,
@@ -88,13 +96,13 @@ impl EventLog {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, LogState> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, LogState<T>> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Append an event, blocking while the log is full (backpressure).
-    /// Fails only on a closed log, handing the event back.
-    pub fn push(&self, event: ChangeEvent) -> Result<(), LogClosed> {
+    /// Append an entry, blocking while the log is full (backpressure).
+    /// Fails only on a closed log, handing the entry back.
+    pub fn push(&self, event: T) -> Result<(), LogClosed<T>> {
         let mut state = self.lock();
         while state.queue.len() >= self.capacity && !state.closed {
             state.stats.producer_waits += 1;
@@ -114,9 +122,9 @@ impl EventLog {
         Ok(())
     }
 
-    /// Append an event without blocking; fails on a full or closed log,
-    /// handing the event back either way.
-    pub fn try_push(&self, event: ChangeEvent) -> Result<(), TryPushError> {
+    /// Append an entry without blocking; fails on a full or closed log,
+    /// handing the entry back either way.
+    pub fn try_push(&self, event: T) -> Result<(), TryPushError<T>> {
         let mut state = self.lock();
         if state.closed {
             return Err(TryPushError::Closed(event));
@@ -132,10 +140,10 @@ impl EventLog {
         Ok(())
     }
 
-    /// Remove up to `max` events (at least one), blocking while the log
+    /// Remove up to `max` entries (at least one), blocking while the log
     /// is empty and open. Returns an empty batch only once the log is
     /// closed *and* drained — the consumer's termination signal.
-    pub fn pop_batch(&self, max: usize) -> Vec<ChangeEvent> {
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
         let max = max.max(1);
         let mut state = self.lock();
         while state.queue.is_empty() && !state.closed {
@@ -145,7 +153,7 @@ impl EventLog {
                 .unwrap_or_else(|e| e.into_inner());
         }
         let take = state.queue.len().min(max);
-        let batch: Vec<ChangeEvent> = state.queue.drain(..take).collect();
+        let batch: Vec<T> = state.queue.drain(..take).collect();
         state.stats.dequeued += batch.len() as u64;
         drop(state);
         if !batch.is_empty() {
@@ -154,12 +162,12 @@ impl EventLog {
         batch
     }
 
-    /// Remove up to `max` events without blocking (empty when none are
+    /// Remove up to `max` entries without blocking (empty when none are
     /// queued).
-    pub fn try_pop_batch(&self, max: usize) -> Vec<ChangeEvent> {
+    pub fn try_pop_batch(&self, max: usize) -> Vec<T> {
         let mut state = self.lock();
         let take = state.queue.len().min(max);
-        let batch: Vec<ChangeEvent> = state.queue.drain(..take).collect();
+        let batch: Vec<T> = state.queue.drain(..take).collect();
         state.stats.dequeued += batch.len() as u64;
         drop(state);
         if !batch.is_empty() {
@@ -176,22 +184,22 @@ impl EventLog {
         self.not_empty.notify_all();
     }
 
-    /// `true` once [`close`](EventLog::close) has been called.
+    /// `true` once [`close`](BoundedLog::close) has been called.
     pub fn is_closed(&self) -> bool {
         self.lock().closed
     }
 
-    /// Number of undelivered events.
+    /// Number of undelivered entries.
     pub fn len(&self) -> usize {
         self.lock().queue.len()
     }
 
-    /// `true` when no events are queued.
+    /// `true` when no entries are queued.
     pub fn is_empty(&self) -> bool {
         self.lock().queue.is_empty()
     }
 
-    /// The maximum number of undelivered events.
+    /// The maximum number of undelivered entries.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -202,10 +210,10 @@ impl EventLog {
     }
 }
 
-impl std::fmt::Debug for EventLog {
+impl<T> std::fmt::Debug for BoundedLog<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let state = self.lock();
-        f.debug_struct("EventLog")
+        f.debug_struct("BoundedLog")
             .field("capacity", &self.capacity)
             .field("queued", &state.queue.len())
             .field("closed", &state.closed)

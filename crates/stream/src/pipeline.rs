@@ -17,7 +17,7 @@ use crate::live::LiveContext;
 use crate::log::EventLog;
 use evorec_core::ReportCache;
 use evorec_measures::{EvolutionContext, MeasureRegistry};
-use evorec_versioning::{VersionId, VersionedStore};
+use evorec_versioning::{LowLevelDelta, VersionId, VersionedStore};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -134,7 +134,7 @@ impl StreamPipeline {
 
     /// Push one event (convenience for single-producer callers);
     /// blocks under backpressure, fails once the pipeline is shut down.
-    pub fn send(&self, event: ChangeEvent) -> Result<(), crate::log::LogClosed> {
+    pub fn send(&self, event: ChangeEvent) -> Result<(), crate::log::LogClosed<ChangeEvent>> {
         self.log.push(event)
     }
 
@@ -168,12 +168,18 @@ fn ingest_loop(
     max_batch: usize,
     sinks: &[Arc<dyn EpochSink>],
 ) -> Ingestor {
+    // The landmark composition `origin → head`, advanced by each
+    // commit's epoch delta so rebuilding the published context never
+    // re-diffs the origin and head snapshots (the same delta algebra
+    // serving windows ride). The spawn-time context build memoised the
+    // initial span's delta, so this clone hits the store's cache.
+    let mut composed = (*ingestor.store().delta(origin, ingestor.head().expect("seeded"))).clone();
     loop {
         let batch = log.pop_batch(max_batch);
         let drained = batch.is_empty();
         ingestor.ingest_all(batch);
         if drained || ingestor.pending_events() >= max_batch || log.is_empty() {
-            commit_and_publish(&mut ingestor, live, origin, sinks);
+            commit_and_publish(&mut ingestor, live, origin, &mut composed, sinks);
         }
         if drained {
             return ingestor;
@@ -185,14 +191,15 @@ fn commit_and_publish(
     ingestor: &mut Ingestor,
     live: &LiveContext,
     origin: VersionId,
+    composed: &mut LowLevelDelta,
     sinks: &[Arc<dyn EpochSink>],
 ) {
     if let Some(commit) = ingestor.commit_epoch() {
-        let ctx = Arc::new(EvolutionContext::build(
-            ingestor.store(),
-            origin,
-            commit.version,
-        ));
+        *composed = composed.compose(&commit.delta);
+        let store = ingestor.store();
+        let landmark = Arc::new(composed.normalise_against(store.snapshot(origin)));
+        store.seed_delta(origin, commit.version, landmark);
+        let ctx = Arc::new(EvolutionContext::build(store, origin, commit.version));
         live.publish(ctx, Some(Arc::clone(&commit.delta)));
         for sink in sinks {
             sink.on_epoch(ingestor.store(), &commit);

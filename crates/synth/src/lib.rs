@@ -14,6 +14,8 @@
 //!   heterogeneous groups, private change feeds;
 //! - [`workload`] — named end-to-end presets (`curated-kb`,
 //!   `social-feed`, `sensor-stream`, `clinical`);
+//! - [`replay_sessions`] — session-replay evaluation of the online
+//!   adaptation loop against a static-profile baseline;
 //! - [`Zipf`] — the rank sampler underneath it all.
 //!
 //! Every generator is fully deterministic given its seed.
@@ -22,11 +24,13 @@
 
 mod evolution_gen;
 mod profile_gen;
+pub mod replay;
 mod schema_gen;
 pub mod workload;
 mod zipf;
 
 pub use evolution_gen::{Scenario, ScenarioOutcome};
+pub use replay::{replay_sessions, ReplayConfig, ReplayReport, ReplayRound};
 pub use profile_gen::{
     generate_feeds, generate_groups, generate_population, Population, PopulationConfig,
 };

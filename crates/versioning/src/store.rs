@@ -74,6 +74,21 @@ impl VersionedStore {
         &self.vocab
     }
 
+    /// Advance the logical commit clock by `ticks` without committing —
+    /// modelling idle wall-clock time a quiet stream spends between
+    /// epochs. The next commit's timestamp lands after the gap, so
+    /// time-anchored consumers (`Since`, wall-clock sliding bands) see
+    /// history age even while no version lands.
+    pub fn advance_clock(&mut self, ticks: u64) {
+        self.clock = self.clock.saturating_add(ticks);
+    }
+
+    /// The logical commit clock (the timestamp the *next* commit will
+    /// exceed).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
     /// Commit a full snapshot as the next version; returns its id.
     pub fn commit_snapshot(
         &mut self,

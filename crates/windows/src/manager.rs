@@ -21,7 +21,9 @@ pub struct WindowManagerOptions {
     /// [`LiveContext::background_warm`]).
     pub background_warm: bool,
     /// Epochs retained for sliding-window composition (0 → sized
-    /// automatically from the largest `SlidingEpochs` span).
+    /// automatically from the largest sliding span: `SlidingEpochs(k)`
+    /// counts `k`, `SlidingTime(Δt)` counts `Δt` clock ticks, capped
+    /// at 1024).
     pub ring_capacity: usize,
     /// Treat this version as the stream head at construction instead
     /// of the store's current head: a manager anchored at a historical
@@ -140,10 +142,20 @@ impl WindowManager {
                 def.name
             );
         }
+        // Auto-size the ring from the widest sliding span: k epochs
+        // for an epoch-counted window; for a wall-clock band the store
+        // clock ticks once per commit, so a Δt band covers at most Δt
+        // epochs (capped — a band wide enough to never strip needs no
+        // ring at all, and undersizing only costs counted fallbacks to
+        // the store's memoised adjacent-pair deltas, never a re-diff
+        // of a commit-built history).
         let max_sliding = defs
             .iter()
             .filter_map(|d| match d.spec {
                 WindowSpec::SlidingEpochs(k) => Some(k),
+                WindowSpec::SlidingTime(dt) => {
+                    Some(usize::try_from(dt.min(1024)).unwrap_or(1024))
+                }
                 _ => None,
             })
             .max()
@@ -168,6 +180,10 @@ impl WindowManager {
                     head.as_u32()
                         .saturating_sub(u32::try_from(k).unwrap_or(u32::MAX)),
                 ),
+                WindowSpec::SlidingTime(dt) => {
+                    let head_ts = store.versions()[head.index()].timestamp;
+                    WindowSpec::since_anchor(store, head_ts.saturating_sub(dt), origin, head)
+                }
                 WindowSpec::Since(t) => WindowSpec::since_anchor(store, t, origin, head),
             };
             let composed = if from == head {
@@ -333,20 +349,23 @@ impl WindowManager {
                 state.composed = state.composed.compose(&commit.delta);
                 state.epochs += 1;
                 while state.epochs > k {
-                    let evicted = match ring.entry_starting_at(state.from) {
-                        Some(entry) => Arc::clone(&entry.delta),
-                        None => {
-                            // The ring no longer retains the evicted
-                            // epoch; the store's adjacent-pair delta
-                            // cache (seeded at commit time) still does.
-                            self.ring_fallbacks.fetch_add(1, Ordering::Relaxed);
-                            let next = VersionId::from_u32(state.from.as_u32() + 1);
-                            store.delta(state.from, next)
-                        }
-                    };
-                    state.composed = evicted.invert().compose(&state.composed);
-                    state.from = VersionId::from_u32(state.from.as_u32() + 1);
-                    state.epochs -= 1;
+                    self.strip_oldest_epoch(state, ring, store);
+                }
+            }
+            WindowSpec::SlidingTime(dt) => {
+                state.composed = state.composed.compose(&commit.delta);
+                state.epochs += 1;
+                // The wall-clock anchor slides with the head's
+                // timestamp: strip every epoch that fell off the back
+                // of the `Δt`-wide band.
+                let target = WindowSpec::since_anchor(
+                    store,
+                    timestamp.saturating_sub(dt),
+                    self.origin,
+                    commit.version,
+                );
+                while state.from < target {
+                    self.strip_oldest_epoch(state, ring, store);
                 }
             }
             WindowSpec::Since(t) => {
@@ -363,6 +382,31 @@ impl WindowManager {
             }
         }
         state.from != old_from
+    }
+
+    /// Strip the window's oldest covered epoch off the head of its
+    /// composed delta (`ε⁻¹ ∘ D`) and advance its `from` bound by one
+    /// version.
+    fn strip_oldest_epoch(
+        &self,
+        state: &mut WindowState,
+        ring: &EpochRing,
+        store: &VersionedStore,
+    ) {
+        let evicted = match ring.entry_starting_at(state.from) {
+            Some(entry) => Arc::clone(&entry.delta),
+            None => {
+                // The ring no longer retains the evicted epoch; the
+                // store's adjacent-pair delta cache (seeded at commit
+                // time) still does.
+                self.ring_fallbacks.fetch_add(1, Ordering::Relaxed);
+                let next = VersionId::from_u32(state.from.as_u32() + 1);
+                store.delta(state.from, next)
+            }
+        };
+        state.composed = evicted.invert().compose(&state.composed);
+        state.from = VersionId::from_u32(state.from.as_u32() + 1);
+        state.epochs = state.epochs.saturating_sub(1);
     }
 
     /// Seed the store's delta cache with the window's composed delta
@@ -601,6 +645,59 @@ mod tests {
             .map(|n| manager.span(n).unwrap())
             .collect();
         assert_eq!(spans, reference, "mid-stream attach converges");
+    }
+
+    #[test]
+    fn sliding_time_band_breathes_with_the_clock() {
+        // Timestamps are the store's logical clock: while every tick is
+        // a commit, a `SlidingTime(2)` band coincides with
+        // `SlidingEpochs(2)`; once the clock advances over an idle gap,
+        // the band ages epochs out while the epoch-counted window
+        // doesn't.
+        let (mut ingestor, typings) = seeded();
+        let origin = ingestor.head().unwrap();
+        let manager = WindowManager::new(
+            ingestor.store(),
+            origin,
+            vec![
+                WindowDef::new("t2", WindowSpec::SlidingTime(2)),
+                WindowDef::new("e2", WindowSpec::SlidingEpochs(2)),
+                WindowDef::new("t0", WindowSpec::SlidingTime(0)),
+            ],
+            WindowManagerOptions::default(),
+        );
+        assert_eq!(manager.span("t2"), Some((origin, origin)));
+        run_epochs(&mut ingestor, &manager, &typings[..4]);
+        let head = ingestor.head().unwrap();
+        assert_eq!(manager.span("t2"), manager.span("e2"));
+        assert_eq!(
+            manager.span("t2"),
+            Some((VersionId::from_u32(head.as_u32() - 2), head))
+        );
+        assert_eq!(manager.span("t0"), Some((head, head)), "zero-width band");
+        assert!(manager.window("t0").unwrap().current().delta.is_empty());
+        // The band's context equals the sliding-epoch twin's, bitwise.
+        assert_eq!(
+            manager.window("t2").unwrap().current().fingerprint(),
+            manager.window("e2").unwrap().current().fingerprint()
+        );
+
+        // The stream goes quiet for three ticks: the next epoch lands
+        // past the gap, so the 2-tick band holds only that epoch while
+        // the epoch-counted window still spans two.
+        ingestor.advance_clock(3);
+        run_epochs(&mut ingestor, &manager, &typings[4..5]);
+        let head = ingestor.head().unwrap();
+        assert_eq!(
+            manager.span("t2"),
+            Some((VersionId::from_u32(head.as_u32() - 1), head)),
+            "idle ticks aged the older epochs out of the band"
+        );
+        assert_eq!(
+            manager.span("e2"),
+            Some((VersionId::from_u32(head.as_u32() - 2), head)),
+            "the epoch-counted window is blind to the gap"
+        );
     }
 
     #[test]

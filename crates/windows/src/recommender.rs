@@ -111,6 +111,23 @@ impl WindowedRecommender {
         Some(self.recommender.recommend(&ctx, profile))
     }
 
+    /// Recommend against one window with an optional [`ScoreBoost`]
+    /// steering the selection objective (`None` is exactly
+    /// [`recommend`](WindowedRecommender::recommend)) — the hook the
+    /// online adaptation subsystem's exploration policies serve
+    /// through.
+    ///
+    /// [`ScoreBoost`]: evorec_core::ScoreBoost
+    pub fn recommend_with_boost(
+        &self,
+        window: &str,
+        profile: &UserProfile,
+        boost: Option<&dyn evorec_core::ScoreBoost>,
+    ) -> Option<Recommendation> {
+        let ctx = self.context(window)?;
+        Some(self.recommender.recommend_with_boost(&ctx, profile, boost))
+    }
+
     /// Recommend against every window, definition order. Each answer is
     /// what [`recommend`](WindowedRecommender::recommend) would return
     /// for that window alone.

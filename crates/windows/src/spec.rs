@@ -19,6 +19,19 @@ pub enum WindowSpec {
     /// `SlidingEpochs(1)` equals [`LastEpoch`](WindowSpec::LastEpoch);
     /// `SlidingEpochs(0)` is the degenerate always-empty window.
     SlidingEpochs(usize),
+    /// Everything committed within the last `Δt` ticks of the store's
+    /// logical clock: the window is anchored at the latest version whose
+    /// timestamp is at or before `head_timestamp − Δt` (the manager's
+    /// origin while no version is that old). Unlike
+    /// [`SlidingEpochs`](WindowSpec::SlidingEpochs), the span is
+    /// time-anchored, not count-anchored: idle clock ticks
+    /// ([`VersionedStore::advance_clock`] — a stream going quiet) age
+    /// epochs out of the band without a commit, so after a gap the
+    /// band narrows while an epoch-counted window would still span its
+    /// `k`. On a history whose clock only ever ticks at commits, the
+    /// two coincide. `SlidingTime(0)` is the degenerate always-empty
+    /// window.
+    SlidingTime(u64),
     /// Everything since the manager's origin version ("since release").
     Landmark,
     /// Everything after the store's logical commit timestamp `t`: the
@@ -34,28 +47,33 @@ impl WindowSpec {
         match self {
             WindowSpec::LastEpoch => "last-epoch".into(),
             WindowSpec::SlidingEpochs(k) => format!("sliding-{k}-epochs"),
+            WindowSpec::SlidingTime(dt) => format!("sliding-t{dt}"),
             WindowSpec::Landmark => "landmark".into(),
             WindowSpec::Since(t) => format!("since-t{t}"),
         }
     }
 
-    /// The anchor version a [`Since`](WindowSpec::Since) window uses
-    /// over the history up to `head`: the latest version (≤ `head`)
-    /// whose timestamp is at or before `t`, or `origin` when that
-    /// whole prefix is newer.
+    /// The anchor version a [`Since`](WindowSpec::Since) or
+    /// [`SlidingTime`](WindowSpec::SlidingTime) window uses over the
+    /// history up to `head`: the latest version (≤ `head`) whose
+    /// timestamp is at or before `t`, or `origin` when that whole
+    /// prefix is newer. Timestamps are strictly increasing (the
+    /// store's commit clock), so this is a binary search — it runs
+    /// once per commit per time-anchored window, and a linear scan
+    /// would make long streams quadratic.
     pub(crate) fn since_anchor(
         store: &VersionedStore,
         t: u64,
         origin: VersionId,
         head: VersionId,
     ) -> VersionId {
-        store
-            .versions()
-            .iter()
-            .rev()
-            .find(|info| info.id <= head && info.timestamp <= t)
-            .map(|info| info.id)
-            .unwrap_or(origin)
+        let versions = store.versions();
+        let prefix = (head.index() + 1).min(versions.len());
+        let newer = versions[..prefix].partition_point(|info| info.timestamp <= t);
+        match newer {
+            0 => origin,
+            at_or_before => versions[at_or_before - 1].id,
+        }
     }
 }
 
@@ -95,12 +113,14 @@ mod tests {
         let labels = [
             WindowSpec::LastEpoch.label(),
             WindowSpec::SlidingEpochs(4).label(),
+            WindowSpec::SlidingTime(4).label(),
             WindowSpec::Landmark.label(),
             WindowSpec::Since(7).label(),
         ];
         let unique: std::collections::HashSet<_> = labels.iter().collect();
         assert_eq!(unique.len(), labels.len());
         assert_eq!(WindowSpec::SlidingEpochs(4).to_string(), "sliding-4-epochs");
+        assert_eq!(WindowSpec::SlidingTime(4).to_string(), "sliding-t4");
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! The serve-observe-update loop, live: an adaptive curator session.
+//!
+//! The paper's human-aware premise is that the recommender should learn
+//! *from the human it serves*. This example replays a synthetic curator
+//! population against the online adaptation subsystem — recommendations
+//! served from a live window, reactions (accept / dwell / dismiss /
+//! reject) streamed back through the bounded feedback log, profiles and
+//! the per-measure bandit ledger updated online — and prints the
+//! round-by-round engagement against a static-profile baseline serving
+//! the very same rounds without ever learning.
+//!
+//! Run with: `cargo run --release --example adaptive_curator`
+
+use evorec::adapt::{
+    AdaptiveOptions, AdaptiveRecommender, FeedbackEvent, NoExploration, Reaction, ThompsonBeta,
+};
+use evorec::core::{RecommenderConfig, ReportCache};
+use evorec::measures::MeasureRegistry;
+use evorec::synth::workload::curated_kb;
+use evorec::synth::{replay_sessions, ReplayConfig};
+use evorec::windows::{
+    WindowDef, WindowManager, WindowManagerOptions, WindowSpec, WindowedRecommender,
+};
+use std::sync::Arc;
+
+fn main() {
+    let world = curated_kb(80, 7);
+    println!(
+        "=== {} : {} classes, {} users, adaptive vs static replay ===",
+        world.name,
+        world.classes(),
+        world.population.profiles.len()
+    );
+
+    // -- 1. Session replay: the harness runs both paths over the same
+    //       planted-topic oracles and reports the engagement lift.
+    let config = ReplayConfig {
+        rounds: 6,
+        users: 12,
+        policy: Arc::new(ThompsonBeta::new(17)),
+        ..Default::default()
+    };
+    let report = replay_sessions(&world, &config);
+    println!("\nround-by-round engagement (accepted or dwelled / shown):");
+    println!("  round   adaptive   static");
+    for (adaptive, baseline) in report.adaptive.iter().zip(&report.baseline) {
+        println!(
+            "    {:2}      {:5.3}     {:5.3}",
+            adaptive.round, adaptive.rate, baseline.rate
+        );
+    }
+    println!(
+        "mean lift {:+.3}, final-round lift {:+.3} — the loop pays for itself",
+        report.lift(),
+        report.final_lift()
+    );
+
+    // -- 2. Under the hood: one explicit serve-observe-update cycle
+    //       with the bandit ledger visible.
+    let registry = Arc::new(MeasureRegistry::standard());
+    let cache = Arc::new(ReportCache::new());
+    let manager = Arc::new(WindowManager::new(
+        &world.kb.store,
+        world.base(),
+        vec![WindowDef::new("all", WindowSpec::Landmark)],
+        WindowManagerOptions {
+            serving: Some((registry, cache)),
+            ..Default::default()
+        },
+    ));
+    let served = Arc::new(WindowedRecommender::new(
+        Arc::clone(&manager),
+        MeasureRegistry::standard(),
+        RecommenderConfig {
+            top_k: 4,
+            novelty_weight: 0.0,
+            ..Default::default()
+        },
+    ));
+    let curator = world.population.profiles[0].clone();
+    let curator_id = curator.id;
+    let adaptive = AdaptiveRecommender::new(
+        Arc::clone(&served),
+        [curator.clone()],
+        AdaptiveOptions {
+            policy: Arc::new(ThompsonBeta::new(3)),
+            ..Default::default()
+        },
+    );
+    println!(
+        "\nexplicit loop for {} (oracle: their planted topic region):",
+        curator.name
+    );
+    for round in 0..3 {
+        let recommendation = adaptive.serve("all", curator_id).expect("window exists");
+        let mut engaged = 0;
+        for scored in &recommendation.items {
+            let reaction = if curator.interest(scored.item.focus) > 0.0 {
+                engaged += 1;
+                Reaction::Accept
+            } else {
+                Reaction::Dismiss
+            };
+            adaptive
+                .observe(
+                    FeedbackEvent::new(curator_id, scored.item.clone(), reaction)
+                        .in_session(round)
+                        .from_window("all"),
+                )
+                .expect("feedback log open");
+        }
+        adaptive.sync();
+        println!(
+            "  round {round}: served {}, accepted {engaged}, profile mass {:.3}",
+            recommendation.items.len(),
+            adaptive.profile(curator_id).unwrap().interest_mass()
+        );
+    }
+    println!("\nper-measure bandit ledger (exposures → mean reward):");
+    let book = adaptive.book();
+    for measure in adaptive.catalogue().to_vec() {
+        let stats = book.measure(&measure);
+        if stats.exposures > 0 {
+            println!(
+                "  {:32} {:3} → {:.2}",
+                measure.to_string(),
+                stats.exposures,
+                stats.acceptance()
+            );
+        }
+    }
+    let stats = adaptive.shutdown();
+    println!(
+        "\nsubsystem counters: {} serves ({} explored), {} reactions in {} micro-batches",
+        stats.serves, stats.explored_serves, stats.worker.events, stats.worker.batches
+    );
+
+    // -- 3. The determinism guarantee: with exploration off, the
+    //       adaptive facade serves bit-identically to the plain
+    //       windowed recommender.
+    let off = AdaptiveRecommender::new(
+        Arc::clone(&served),
+        [curator.clone()],
+        AdaptiveOptions {
+            policy: Arc::new(NoExploration),
+            ..Default::default()
+        },
+    );
+    let via_facade = off.serve("all", curator_id).expect("window exists");
+    let direct = served.recommend("all", &curator).expect("window exists");
+    let keys = |items: &[evorec::core::ScoredItem]| {
+        items
+            .iter()
+            .map(|s| (s.item.measure.to_string(), s.item.focus, s.objective))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(keys(&via_facade.items), keys(&direct.items));
+    println!("\nexploration off: facade output bit-identical to WindowedRecommender ✓");
+}

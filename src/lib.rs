@@ -19,6 +19,7 @@
 //! | [`core`] | `evorec-core` | the §III recommender (this paper's contribution) |
 //! | [`stream`] | `evorec-stream` | streaming ingestion: event log, micro-batch epochs, live contexts |
 //! | [`windows`] | `evorec-windows` | multi-window temporal serving: one epoch stream, many live views |
+//! | [`adapt`] | `evorec-adapt` | online adaptation: feedback streams, live profiles, bandit-blended serving |
 //! | [`synth`] | `evorec-synth` | synthetic KB / evolution / population workloads |
 //!
 //! ## Quickstart
@@ -43,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub use evorec_adapt as adapt;
 pub use evorec_core as core;
 pub use evorec_graph as graph;
 pub use evorec_kb as kb;

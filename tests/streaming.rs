@@ -248,6 +248,51 @@ fn all_four_workloads_replay_equivalently() {
     }
 }
 
+/// The pipeline's landmark context rebuild rides the composed epoch
+/// deltas: however many epochs commit, the store never diffs the
+/// `origin → head` snapshots beyond the single spawn-time build — each
+/// publish seeds the span's delta from the running composition, exactly
+/// like the window manager's advances.
+#[test]
+fn pipeline_landmark_rebuilds_never_rediff_snapshots() {
+    use evorec::stream::{PipelineOptions, StreamPipeline};
+    use evorec::synth::workload::streamed::stream_into;
+
+    let world = curated_kb(40, 16);
+    let ingestor = seeded_ingestor(&world, IngestorConfig {
+        // Small micro-batches: the stream commits many epochs, each of
+        // which republishes the widening origin → head landmark.
+        max_batch: 32,
+        ..Default::default()
+    });
+    let origin = ingestor.head().expect("seeded");
+    let pipeline = StreamPipeline::spawn(ingestor, PipelineOptions::default());
+    stream_into(&world, pipeline.log());
+    let live = std::sync::Arc::clone(pipeline.live());
+    let ingestor = pipeline.shutdown();
+    assert!(
+        ingestor.stats().epochs >= 2,
+        "workload must stream several epochs, got {}",
+        ingestor.stats().epochs
+    );
+    assert_eq!(
+        ingestor.store().delta_computations(),
+        1,
+        "only the spawn-time idle build may diff; every epoch's landmark \
+         rebuild must be seeded from the composed delta"
+    );
+    // And the seeded composition is the real thing: the final context
+    // equals a batch build over an independent store.
+    let head = ingestor.head().expect("epochs committed");
+    let mut batch = VersionedStore::new();
+    for info in ingestor.store().versions() {
+        batch.commit_snapshot(info.label.clone(), ingestor.store().snapshot(info.id).clone());
+    }
+    let direct = EvolutionContext::build(&batch, origin, head);
+    assert_eq!(live.current().fingerprint(), direct.fingerprint());
+    assert_eq!(live.current().delta.as_ref(), direct.delta.as_ref());
+}
+
 /// End to end through the threaded pipeline with serving attached:
 /// events in, warm cache out, readers never observe a stale epoch after
 /// shutdown.

@@ -117,6 +117,12 @@ proptest! {
         let mut defs = four_windows(since_clock);
         defs.push(WindowDef::new("single", WindowSpec::SlidingEpochs(1)));
         defs.push(WindowDef::new("empty", WindowSpec::SlidingEpochs(0)));
+        // Wall-clock bands: zero-width (always empty), a narrow band,
+        // and one whose width lands before/inside/after the streamed
+        // clock range depending on `since_clock`.
+        defs.push(WindowDef::new("band-t0", WindowSpec::SlidingTime(0)));
+        defs.push(WindowDef::new("band-t2", WindowSpec::SlidingTime(2)));
+        defs.push(WindowDef::new("band-tv", WindowSpec::SlidingTime(since_clock)));
         let manager = WindowManager::new(
             ingestor.store(),
             origin,
@@ -384,6 +390,8 @@ fn boundary_windows_match_batch_builds() {
             WindowDef::new("one", WindowSpec::SlidingEpochs(1)),
             WindowDef::new("future", WindowSpec::Since(u64::MAX)),
             WindowDef::new("past", WindowSpec::Since(0)),
+            WindowDef::new("band-wide", WindowSpec::SlidingTime(u64::MAX)),
+            WindowDef::new("band-nil", WindowSpec::SlidingTime(0)),
         ],
         WindowManagerOptions::default(),
     );
@@ -407,4 +415,8 @@ fn boundary_windows_match_batch_builds() {
     assert_eq!(manager.span("past"), Some((origin, head)));
     assert_eq!(manager.span("one"), Some((origin, head)));
     assert_eq!(manager.span("empty"), Some((head, head)));
+    // A band wider than any history covers it all; a zero-width band
+    // never covers anything.
+    assert_eq!(manager.span("band-wide"), Some((origin, head)));
+    assert_eq!(manager.span("band-nil"), Some((head, head)));
 }

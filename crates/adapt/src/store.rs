@@ -14,8 +14,8 @@
 use crate::event::Reaction;
 use evorec_core::{FeedbackLoop, FeedbackSignal, Item, UserId, UserProfile};
 use evorec_kb::FxHashMap;
-use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, Ordering};
+use sched::sync::atomic::{AtomicU64, Ordering};
+use sched::sync::{Mutex, RwLock};
 use std::sync::Arc;
 
 /// Construction options of a [`ProfileStore`].
@@ -56,6 +56,7 @@ pub struct ProfileStoreStats {
 /// One shard: the published snapshots plus a writer lock serialising
 /// copy-on-write updates so readers only ever contend with the pointer
 /// swap itself.
+// lint: lock-order writer < map
 struct Shard {
     writer: Mutex<()>,
     map: RwLock<FxHashMap<UserId, Arc<UserProfile>>>,

@@ -14,9 +14,10 @@ use crate::store::ProfileStore;
 use evorec_core::{FeedbackSignal, Item, UserId};
 use evorec_kb::FxHashMap;
 use evorec_stream::BoundedLog;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use sched::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use sched::sync::{Condvar, Mutex};
+use sched::thread::JoinHandle;
+use std::sync::Arc;
 
 /// The bounded MPSC feedback stream feeding an [`AdaptWorker`].
 pub type FeedbackLog = BoundedLog<FeedbackEvent>;
@@ -89,15 +90,14 @@ impl AdaptWorker {
             let log = Arc::clone(&log);
             let progress = Arc::clone(&progress);
             let counters = Arc::clone(&counters);
-            std::thread::spawn(move || {
+            sched::thread::spawn(move || {
                 // Runs on every exit path — a panic in the apply loop
                 // included — so flushers wake instead of waiting on a
                 // dead thread.
                 struct FinishGuard(Arc<Progress>);
                 impl Drop for FinishGuard {
                     fn drop(&mut self) {
-                        let _lock =
-                            self.0.applied.lock().unwrap_or_else(|e| e.into_inner());
+                        let _lock = self.0.applied.lock();
                         self.0.finished.store(true, Ordering::Release);
                         self.0.cond.notify_all();
                     }
@@ -137,10 +137,7 @@ impl AdaptWorker {
                     for (user, events) in per_user {
                         store.apply_batch(user, events.iter().map(|(i, s)| (i, *s)));
                     }
-                    let mut done = progress
-                        .applied
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner());
+                    let mut done = progress.applied.lock();
                     *done += applied;
                     progress.cond.notify_all();
                 }
@@ -174,11 +171,7 @@ impl AdaptWorker {
     /// returning would silently break the all-applied guarantee.
     pub fn flush(&self) {
         let target = self.log.stats().enqueued;
-        let mut done = self
-            .progress
-            .applied
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
+        let mut done = self.progress.applied.lock();
         while *done < target {
             assert!(
                 !self.progress.finished.load(Ordering::Acquire),
@@ -186,11 +179,10 @@ impl AdaptWorker {
                 *done,
                 target
             );
-            let (guard, _timeout) = self
+            let (guard, _timed_out) = self
                 .progress
                 .cond
-                .wait_timeout(done, std::time::Duration::from_millis(50))
-                .unwrap_or_else(|e| e.into_inner());
+                .wait_timeout(done, std::time::Duration::from_millis(50));
             done = guard;
         }
     }
@@ -198,11 +190,7 @@ impl AdaptWorker {
     /// Cumulative counters.
     pub fn stats(&self) -> AdaptStats {
         AdaptStats {
-            events: *self
-                .progress
-                .applied
-                .lock()
-                .unwrap_or_else(|e| e.into_inner()),
+            events: *self.progress.applied.lock(),
             batches: self.counters.batches.load(Ordering::Relaxed),
             accepts: self.counters.accepts.load(Ordering::Relaxed),
             dwells: self.counters.dwells.load(Ordering::Relaxed),
@@ -216,7 +204,9 @@ impl AdaptWorker {
     /// # Panics
     /// Panics if the worker thread panicked.
     pub fn shutdown(mut self) -> AdaptStats {
-        self.join().expect("adapt worker panicked");
+        if let Err(panic) = self.join() {
+            std::panic::resume_unwind(panic);
+        }
         self.stats()
     }
 

@@ -1,0 +1,96 @@
+//! Interleaving models of [`ProfileStore`]'s copy-on-write swap: under
+//! `--cfg evorec_sched` the `sched` harness enumerates every bounded
+//! schedule, proving readers never observe a half-applied batch and
+//! first-contact creation races resolve to exactly one profile.
+
+use evorec_adapt::{ProfileStore, ProfileStoreOptions};
+use evorec_core::{FeedbackSignal, Item, UserId, UserProfile};
+use evorec_kb::TermId;
+use evorec_measures::{MeasureCategory, MeasureId};
+use std::sync::Arc;
+
+fn item(measure: &str, focus: u32) -> Item {
+    Item::new(
+        MeasureId::new(measure),
+        MeasureCategory::ChangeCounting,
+        TermId::from_u32(focus),
+        1.0,
+    )
+}
+
+fn one_shard() -> ProfileStore {
+    // A single shard maximises contention: every access races on the
+    // same writer lock and map.
+    ProfileStore::new(ProfileStoreOptions {
+        shards: 1,
+        ..Default::default()
+    })
+}
+
+/// Torn-read model: a two-event batch is applied with one pointer
+/// swap, so a racing reader sees the profile with zero or both events
+/// folded in — never one. Exhaustive under `evorec_sched`.
+#[test]
+fn readers_never_observe_a_half_applied_batch() {
+    let report = sched::model(|| {
+        let store = Arc::new(one_shard());
+        store.insert(UserProfile::new(UserId(1), "a"));
+        let events = [
+            (item("m1", 1), FeedbackSignal::Accepted),
+            (item("m2", 2), FeedbackSignal::Accepted),
+        ];
+        let updater = {
+            let store = Arc::clone(&store);
+            sched::thread::spawn(move || {
+                store.apply_batch(UserId(1), events.iter().map(|(i, s)| (i, *s)))
+            })
+        };
+        let reader = {
+            let store = Arc::clone(&store);
+            sched::thread::spawn(move || store.get(UserId(1)).map(|p| p.seen_count()))
+        };
+        let applied = updater.join().unwrap();
+        let seen = reader.join().unwrap();
+        assert_eq!(applied, 2);
+        assert!(
+            seen == Some(0) || seen == Some(2),
+            "torn read: observed {seen:?} of 2 batched events"
+        );
+        let settled = store.get(UserId(1)).map(|p| p.seen_count());
+        assert_eq!(settled, Some(2), "batch fully applied after join");
+    });
+    assert!(report.schedules >= 1);
+    if cfg!(evorec_sched) {
+        assert!(report.schedules > 1);
+    }
+}
+
+/// First-contact race: two concurrent `get_or_create` calls on an
+/// unseeded id converge on a single shared profile — one creation, one
+/// map entry, pointer-identical snapshots — in every interleaving.
+#[test]
+fn racing_first_contacts_create_exactly_one_profile() {
+    let report = sched::model(|| {
+        let store = Arc::new(one_shard());
+        let creators: Vec<_> = (0..2)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                sched::thread::spawn(move || store.get_or_create(UserId(7)))
+            })
+            .collect();
+        let profiles: Vec<_> = creators
+            .into_iter()
+            .map(|c| c.join().unwrap())
+            .collect();
+        assert!(
+            Arc::ptr_eq(&profiles[0], &profiles[1]),
+            "the loser must adopt the winner's profile"
+        );
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().auto_created, 1);
+    });
+    assert!(report.schedules >= 1);
+    if cfg!(evorec_sched) {
+        assert!(report.schedules > 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! `evorec-lint`: walk the workspace sources and enforce the project
+//! invariants (see `evorec_analysis::rules` for the rule table).
+//!
+//! ```text
+//! cargo run -p evorec-analysis --bin evorec-lint [-- --root <dir>] [--allowlist <file>]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (or stale/invalid allowlist
+//! entries), `2` usage or I/O error. Diagnostics are
+//! `path:line:col: [rule] message`, one per line, ready for editors.
+
+use evorec_analysis::rules::{lint_source, FileClass};
+use evorec_analysis::Allowlist;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", ".github", ".claude"];
+
+/// Hot-path crates: `hot-path-panic` applies to their `src/` trees.
+const HOT_PATH_CRATES: [&str; 5] = ["core", "stream", "windows", "adapt", "kb"];
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--allowlist" => match args.next() {
+                Some(f) => allowlist_path = Some(PathBuf::from(f)),
+                None => return usage("--allowlist needs a file"),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "evorec-lint [--root <dir>] [--allowlist <file>]\n\
+                     Lints workspace sources against the project invariants; \
+                     default allowlist is <root>/lint-allow.txt."
+                );
+                return 0;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("lint-allow.txt"));
+    let allowlist = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(list) => list,
+            Err(msg) => {
+                eprintln!("error: {}: {msg}", allowlist_path.display());
+                return 1;
+            }
+        },
+        Err(_) => Allowlist::default(),
+    };
+
+    let mut files = Vec::new();
+    collect_rust_files(&root, &mut files);
+    files.sort();
+
+    let mut findings_shown = 0usize;
+    let mut used_entries = vec![false; allowlist.entries.len()];
+    for file in &files {
+        let Ok(source) = std::fs::read_to_string(file) else {
+            eprintln!("error: cannot read {}", file.display());
+            return 2;
+        };
+        let rel = relative_label(&root, file);
+        for finding in lint_source(&source, classify(&rel)) {
+            if let Some(idx) = allowlist.lookup(finding.rule, &rel, finding.line) {
+                used_entries[idx] = true;
+                continue;
+            }
+            println!(
+                "{rel}:{}:{}: [{}] {}",
+                finding.line, finding.col, finding.rule, finding.message
+            );
+            findings_shown += 1;
+        }
+    }
+
+    let mut stale = 0usize;
+    for (idx, used) in used_entries.iter().enumerate() {
+        if !used {
+            let e = &allowlist.entries[idx];
+            println!(
+                "{}: stale allowlist entry: [{}] {}:{} no longer fires — remove it",
+                allowlist_path.display(),
+                e.rule,
+                e.path,
+                e.line
+            );
+            stale += 1;
+        }
+    }
+
+    if findings_shown + stale > 0 {
+        eprintln!(
+            "evorec-lint: {findings_shown} finding(s), {stale} stale allowlist entr(y/ies) \
+             across {} files",
+            files.len()
+        );
+        1
+    } else {
+        eprintln!("evorec-lint: clean ({} files)", files.len());
+        0
+    }
+}
+
+fn usage(msg: &str) -> i32 {
+    eprintln!("error: {msg} (try --help)");
+    2
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rust_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Repo-relative path with forward slashes (the allowlist key format).
+fn relative_label(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn classify(rel: &str) -> FileClass {
+    let hot_path = HOT_PATH_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+    let test_file = rel.starts_with("tests/") || rel.contains("/tests/");
+    FileClass {
+        hot_path,
+        test_file,
+    }
+}

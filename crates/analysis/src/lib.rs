@@ -1,0 +1,13 @@
+//! Static analysis for the evorec workspace: the `evorec-lint` rule
+//! engine.
+//!
+//! See [`rules`] for the invariants enforced and [`tokenizer`] for the
+//! lightweight Rust lexer everything is built on (no external
+//! dependencies — the workspace builds fully offline).
+
+pub mod allowlist;
+pub mod rules;
+pub mod tokenizer;
+
+pub use allowlist::Allowlist;
+pub use rules::{lint_source, Finding};

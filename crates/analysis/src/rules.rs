@@ -1,0 +1,502 @@
+//! The invariant rules `evorec-lint` enforces, as token-pattern
+//! matchers over [`crate::tokenizer`] output.
+//!
+//! | rule id           | invariant |
+//! |-------------------|-----------|
+//! | `nan-sort`        | no `partial_cmp` inside a sort/min/max comparator (NaN makes the comparator non-total → `unwrap` panics or ordering corrupts); use `total_cmp` or `Ord::cmp` |
+//! | `hot-path-panic`  | no `.unwrap()` / `.expect(...)` / `panic!` in non-test code of the hot-path crates (core, stream, windows, adapt, kb); `assert!` remains the sanctioned precondition idiom |
+//! | `relaxed-publish` | no `Ordering::Relaxed` in a statement that publishes a pointer (`AtomicPtr`/`into_raw`/`from_raw`) or touches a field annotated `// lint: publishes` |
+//! | `unbounded-queue` | no unbounded queue construction (`mpsc::channel`, `unbounded(..)`, `unbounded_channel`) — backpressure is load-bearing, use `BoundedLog` |
+//! | `sleep-in-test`   | no `std::thread::sleep` in tests — sleeping races the scheduler; block on a primitive or spin on a counter |
+//! | `lock-order`      | within any one function, locks named in a `// lint: lock-order A < B` annotation must be first-acquired in that order |
+//!
+//! # Annotation grammar
+//!
+//! Annotations are ordinary line comments starting with `lint:`:
+//!
+//! * `// lint: lock-order A < B` — declares the acquisition order for
+//!   the named lock fields, checked per function body file-wide.
+//! * `// lint: publishes` — placed directly above a field declaration;
+//!   marks that field as participating in pointer/epoch publication, so
+//!   `Relaxed` ordering on it becomes a finding.
+
+use crate::tokenizer::{tokenize, Token, TokenKind};
+
+/// One diagnostic: a rule violated at a source position.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Stable rule identifier (used in allowlist entries).
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation with the remediation.
+    pub message: String,
+}
+
+/// How the file under lint is classified (derived from its path by the
+/// binary; explicit here so the engine is testable on bare strings).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileClass {
+    /// In a hot-path crate's `src/` (core/stream/windows/adapt/kb):
+    /// the `hot-path-panic` rule applies outside test regions.
+    pub hot_path: bool,
+    /// An integration-test file (under a `tests/` directory): the
+    /// whole file is test context for `sleep-in-test`.
+    pub test_file: bool,
+}
+
+/// Lint one source file. Pure function of the text and its class.
+pub fn lint_source(source: &str, class: FileClass) -> Vec<Finding> {
+    let tokens = tokenize(source);
+    // Code-token view: rule patterns never span comments.
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let test_regions = find_test_regions(&tokens, &code);
+    let annotations = parse_annotations(&tokens);
+    let mut findings = Vec::new();
+    check_nan_sort(&tokens, &code, &mut findings);
+    if class.hot_path {
+        check_hot_path_panic(&tokens, &code, &test_regions, &mut findings);
+    }
+    check_relaxed_publish(&tokens, &code, &annotations, &mut findings);
+    check_unbounded_queue(&tokens, &code, &mut findings);
+    check_sleep_in_test(&tokens, &code, &test_regions, class, &mut findings);
+    check_lock_order(&tokens, &code, &annotations, &mut findings);
+    findings.sort_by_key(|f| (f.line, f.col));
+    findings
+}
+
+// ---- test-region detection ----------------------------------------------
+
+/// Token-index ranges (inclusive) covered by `#[cfg(test)]` / `#[test]`
+/// items.
+fn find_test_regions(tokens: &[Token], code: &[usize]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut k = 0usize;
+    while k + 1 < code.len() {
+        if !(tokens[code[k]].is_punct('#') && tokens[code[k + 1]].is_punct('[')) {
+            k += 1;
+            continue;
+        }
+        // Collect the attribute tokens up to the matching `]`.
+        let attr_start = code[k];
+        let mut depth = 0usize;
+        let mut j = k + 1;
+        let mut attr_idents: Vec<&str> = Vec::new();
+        while j < code.len() {
+            let t = &tokens[code[j]];
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokenKind::Ident {
+                attr_idents.push(&t.text);
+            }
+            j += 1;
+        }
+        let is_test_attr = attr_idents.first() == Some(&"test")
+            || (attr_idents.first() == Some(&"cfg")
+                && attr_idents.contains(&"test")
+                && !attr_idents.contains(&"not"));
+        if !is_test_attr {
+            k = j;
+            continue;
+        }
+        // The attribute's item extends to its matching closing brace —
+        // or to a `;` for brace-less items (`#[cfg(test)] use ...;`).
+        let mut brace_depth = 0usize;
+        let mut end = code[j];
+        let mut m = j + 1;
+        while m < code.len() {
+            let t = &tokens[code[m]];
+            if brace_depth == 0 && t.is_punct(';') {
+                end = code[m];
+                break;
+            }
+            if t.is_punct('{') {
+                brace_depth += 1;
+            } else if t.is_punct('}') {
+                brace_depth -= 1;
+                if brace_depth == 0 {
+                    end = code[m];
+                    break;
+                }
+            }
+            m += 1;
+        }
+        if m >= code.len() {
+            end = tokens.len() - 1;
+        }
+        regions.push((attr_start, end));
+        k = m + 1;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
+    regions.iter().any(|&(s, e)| s <= idx && idx <= e)
+}
+
+// ---- annotations --------------------------------------------------------
+
+struct Annotations {
+    /// `(a, b)` pairs from `lock-order a < b`: a before b.
+    lock_orders: Vec<(String, String)>,
+    /// Field names annotated `// lint: publishes`.
+    publish_fields: Vec<String>,
+}
+
+fn parse_annotations(tokens: &[Token]) -> Annotations {
+    let mut lock_orders = Vec::new();
+    let mut publish_fields = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = tok.text.trim_start_matches('/').trim();
+        let Some(directive) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let directive = directive.trim();
+        if let Some(rest) = directive.strip_prefix("lock-order") {
+            if let Some((a, b)) = rest.split_once('<') {
+                lock_orders.push((a.trim().to_string(), b.trim().to_string()));
+            }
+        } else if directive == "publishes" {
+            // The annotated field is the next code identifier, skipping
+            // visibility qualifiers (`pub`, `pub(crate)`, ...).
+            if let Some(name) = tokens[i + 1..]
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .find(|t| !matches!(t.text.as_str(), "pub" | "crate" | "super" | "in" | "self"))
+            {
+                publish_fields.push(name.text.clone());
+            }
+        }
+    }
+    Annotations {
+        lock_orders,
+        publish_fields,
+    }
+}
+
+// ---- rules --------------------------------------------------------------
+
+const SORT_METHODS: [&str; 7] = [
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+    "select_nth_unstable_by",
+    "partition_by",
+];
+
+fn check_nan_sort(tokens: &[Token], code: &[usize], findings: &mut Vec<Finding>) {
+    for (k, &i) in code.iter().enumerate() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || !SORT_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let Some(&open) = code.get(k + 1) else {
+            continue;
+        };
+        if !tokens[open].is_punct('(') {
+            continue;
+        }
+        // Scan the comparator argument (paren-matched) for partial_cmp.
+        let mut depth = 0usize;
+        for &j in &code[k + 1..] {
+            let t = &tokens[j];
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("partial_cmp") {
+                findings.push(Finding {
+                    rule: "nan-sort",
+                    line: t.line,
+                    col: t.col,
+                    message: "partial_cmp in a sort comparator is NaN-unsafe (non-total \
+                              order panics or corrupts the sort); use f64::total_cmp or Ord::cmp"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn check_hot_path_panic(
+    tokens: &[Token],
+    code: &[usize],
+    test_regions: &[(usize, usize)],
+    findings: &mut Vec<Finding>,
+) {
+    for (k, &i) in code.iter().enumerate() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || in_regions(test_regions, i) {
+            continue;
+        }
+        let next_is = |ch| {
+            code.get(k + 1)
+                .is_some_and(|&n| tokens[n].is_punct(ch))
+        };
+        let prev_is_dot = k > 0 && tokens[code[k - 1]].is_punct('.');
+        let (hit, advice) = match t.text.as_str() {
+            "unwrap" | "expect" if prev_is_dot && next_is('(') => (
+                true,
+                "return a Result, use let-else/unwrap_or, or assert! the precondition",
+            ),
+            "panic" if next_is('!') => (
+                true,
+                "return an error or make the precondition an assert! with context",
+            ),
+            _ => (false, ""),
+        };
+        if hit {
+            findings.push(Finding {
+                rule: "hot-path-panic",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` in non-test hot-path code can abort serving; {advice}",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Statement span around code-position `k`: back to the previous
+/// `;`/`{`/`}` and forward to the next `;` (brace-aware only forward).
+fn statement_span(tokens: &[Token], code: &[usize], k: usize) -> (usize, usize) {
+    let mut start = k;
+    while start > 0 {
+        let t = &tokens[code[start - 1]];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        start -= 1;
+    }
+    let mut end = k;
+    while end + 1 < code.len() {
+        let t = &tokens[code[end]];
+        if t.is_punct(';') {
+            break;
+        }
+        end += 1;
+    }
+    (start, end)
+}
+
+fn check_relaxed_publish(
+    tokens: &[Token],
+    code: &[usize],
+    annotations: &Annotations,
+    findings: &mut Vec<Finding>,
+) {
+    for (k, &i) in code.iter().enumerate() {
+        let t = &tokens[i];
+        if !t.is_ident("Relaxed") {
+            continue;
+        }
+        let (start, end) = statement_span(tokens, code, k);
+        let stmt_idents: Vec<&str> = code[start..=end]
+            .iter()
+            .filter(|&&j| tokens[j].kind == TokenKind::Ident)
+            .map(|&j| tokens[j].text.as_str())
+            .collect();
+        let pointerish = stmt_idents
+            .iter()
+            .any(|s| matches!(*s, "AtomicPtr" | "into_raw" | "from_raw"));
+        let published_field = annotations
+            .publish_fields
+            .iter()
+            .find(|f| stmt_idents.contains(&f.as_str()));
+        if pointerish || published_field.is_some() {
+            let what = published_field.map_or_else(
+                || "a raw-pointer publication".to_string(),
+                |f| format!("field `{f}` (annotated `lint: publishes`)"),
+            );
+            findings.push(Finding {
+                rule: "relaxed-publish",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "Ordering::Relaxed on {what} gives readers no visibility guarantee \
+                     for the data behind the publication; use Acquire/Release (or SeqCst)"
+                ),
+            });
+        }
+    }
+}
+
+fn check_unbounded_queue(tokens: &[Token], code: &[usize], findings: &mut Vec<Finding>) {
+    for (k, &i) in code.iter().enumerate() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is = |ch| {
+            code.get(k + 1)
+                .is_some_and(|&n| tokens[n].is_punct(ch))
+        };
+        let prev2_ident = |name: &str| {
+            k >= 2
+                && tokens[code[k - 1]].is_punct(':')
+                && tokens[code[k - 2]].is_punct(':')
+                && k >= 3
+                && tokens[code[k - 3]].is_ident(name)
+        };
+        let hit = match t.text.as_str() {
+            "channel" if next_is('(') && prev2_ident("mpsc") => true,
+            "unbounded" | "unbounded_channel" if next_is('(') => true,
+            _ => false,
+        };
+        if hit {
+            findings.push(Finding {
+                rule: "unbounded-queue",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` constructs an unbounded queue — a slow consumer then buffers \
+                     without limit; use BoundedLog (or another bounded primitive) so \
+                     backpressure reaches producers",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn check_sleep_in_test(
+    tokens: &[Token],
+    code: &[usize],
+    test_regions: &[(usize, usize)],
+    class: FileClass,
+    findings: &mut Vec<Finding>,
+) {
+    for (k, &i) in code.iter().enumerate() {
+        let t = &tokens[i];
+        if !t.is_ident("sleep") {
+            continue;
+        }
+        let is_thread_sleep = k >= 3
+            && tokens[code[k - 1]].is_punct(':')
+            && tokens[code[k - 2]].is_punct(':')
+            && tokens[code[k - 3]].is_ident("thread");
+        if !is_thread_sleep {
+            continue;
+        }
+        if class.test_file || in_regions(test_regions, i) {
+            findings.push(Finding {
+                rule: "sleep-in-test",
+                line: t.line,
+                col: t.col,
+                message: "thread::sleep in a test races the scheduler (flaky under load, \
+                          slow always); block on the primitive under test or spin on an \
+                          observable counter with yield_now"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn check_lock_order(
+    tokens: &[Token],
+    code: &[usize],
+    annotations: &Annotations,
+    findings: &mut Vec<Finding>,
+) {
+    if annotations.lock_orders.is_empty() {
+        return;
+    }
+    // Function bodies: `fn name ... {` to the matching `}`.
+    let mut k = 0usize;
+    while k < code.len() {
+        if !tokens[code[k]].is_ident("fn") {
+            k += 1;
+            continue;
+        }
+        // Find the body's opening brace (signatures contain no `{`; a
+        // `;` first means a trait/extern declaration without body).
+        let mut open = None;
+        let mut j = k + 1;
+        while j < code.len() {
+            let t = &tokens[code[j]];
+            if t.is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            k = j + 1;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut close = open;
+        for (m, &idx) in code.iter().enumerate().skip(open) {
+            let t = &tokens[idx];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    close = m;
+                    break;
+                }
+            }
+        }
+        // First acquisition position of each annotated lock name:
+        // `name . lock|read|write (`.
+        let mut first_acq: Vec<(&str, usize, &Token)> = Vec::new();
+        for m in open..=close {
+            let t = &tokens[code[m]];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let is_acq = code.get(m + 1).is_some_and(|&d| tokens[d].is_punct('.'))
+                && code.get(m + 2).is_some_and(|&f| {
+                    tokens[f].is_ident("lock")
+                        || tokens[f].is_ident("read")
+                        || tokens[f].is_ident("write")
+                })
+                && code.get(m + 3).is_some_and(|&p| tokens[p].is_punct('('));
+            if is_acq && !first_acq.iter().any(|(n, _, _)| *n == t.text.as_str()) {
+                first_acq.push((t.text.as_str(), m, t));
+            }
+        }
+        for (a, b) in &annotations.lock_orders {
+            let pos_a = first_acq.iter().find(|(n, _, _)| n == a);
+            let pos_b = first_acq.iter().find(|(n, _, _)| n == b);
+            if let (Some((_, ka, _)), Some((_, kb, tb))) = (pos_a, pos_b) {
+                if kb < ka {
+                    findings.push(Finding {
+                        rule: "lock-order",
+                        line: tb.line,
+                        col: tb.col,
+                        message: format!(
+                            "`{b}` acquired before `{a}`, violating the declared order \
+                             `lock-order {a} < {b}` — inverted acquisition deadlocks \
+                             against a thread following the declared order"
+                        ),
+                    });
+                }
+            }
+        }
+        k = close + 1;
+    }
+}

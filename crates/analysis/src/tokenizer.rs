@@ -1,0 +1,482 @@
+//! A lightweight Rust lexer — just enough fidelity for invariant
+//! linting.
+//!
+//! The rules in [`crate::rules`] are token-pattern matchers, so the
+//! lexer's job is to make token boundaries trustworthy: string and
+//! character literals must not leak their contents as code (a
+//! `"partial_cmp"` in a message is not a call), comments must be
+//! preserved verbatim (the annotation grammar lives there), lifetimes
+//! must not be confused with char literals, and `1..n` ranges must not
+//! be swallowed into number literals. It is *not* a full lexer: exotic
+//! forms it cannot classify degrade to single-character punctuation
+//! tokens, which at worst makes a rule miss — never misfire on — a
+//! pattern.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `unwrap`).
+    Ident,
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// A numeric literal (`42`, `0x1f`, `1_000`, `2.5e3`).
+    Number,
+    /// A string, raw-string, byte-string, or char literal. Contents are
+    /// deliberately opaque to the rules.
+    Str,
+    /// A `// ...` comment, text preserved (annotations live here).
+    LineComment,
+    /// A `/* ... */` comment (nesting handled), text preserved.
+    BlockComment,
+    /// A single punctuation character (`.`, `(`, `<`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` for the comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// `true` when this is an [`TokenKind::Ident`] with exactly `text`.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// `true` when this is a [`TokenKind::Punct`] with exactly `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(ch)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `source` into a token stream (comments included).
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            tokens.push(Token {
+                kind: TokenKind::LineComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            loop {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push('/');
+                        text.push('*');
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        text.push('*');
+                        text.push('/');
+                        cur.bump();
+                        cur.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (Some(c), _) => {
+                        text.push(c);
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::BlockComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Raw / byte strings: r"...", r#"..."#, br"...", b"...".
+        if matches!(c, 'r' | 'b') {
+            if let Some(text) = try_string_prefix(&mut cur) {
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+        }
+        if c == '"' {
+            let text = lex_quoted(&mut cur);
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '\'' {
+            let token = lex_char_or_lifetime(&mut cur, line, col);
+            tokens.push(token);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let text = lex_number(&mut cur);
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(c) = cur.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        cur.bump();
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// At an `r`/`b`: if it starts a raw/byte string literal, consume and
+/// return it; otherwise leave the cursor untouched (it is an ident).
+fn try_string_prefix(cur: &mut Cursor) -> Option<String> {
+    let mut ahead = 1;
+    if cur.peek(0) == Some('b') && cur.peek(1) == Some('r') {
+        ahead = 2;
+    }
+    let mut hashes = 0usize;
+    while cur.peek(ahead) == Some('#') {
+        ahead += 1;
+        hashes += 1;
+    }
+    if cur.peek(ahead) != Some('"') {
+        return None;
+    }
+    let raw = ahead > 1 || cur.peek(0) == Some('r');
+    let mut text = String::new();
+    for _ in 0..=ahead {
+        text.push(cur.bump()?);
+    }
+    if !raw {
+        // b"..." — ordinary escape rules.
+        text.push_str(&lex_quoted_body(cur));
+        return Some(text);
+    }
+    // Raw: ends at `"` followed by `hashes` hashes; no escapes.
+    loop {
+        let c = cur.bump()?;
+        text.push(c);
+        if c == '"' && (0..hashes).all(|i| cur.peek(i) == Some('#')) {
+            for _ in 0..hashes {
+                text.push(cur.bump()?);
+            }
+            return Some(text);
+        }
+    }
+}
+
+/// Consume a `"`-delimited string with escapes, opening quote included.
+fn lex_quoted(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    if let Some(q) = cur.bump() {
+        text.push(q);
+    }
+    text.push_str(&lex_quoted_body(cur));
+    text
+}
+
+fn lex_quoted_body(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(escaped) = cur.bump() {
+                text.push(escaped);
+            }
+            continue;
+        }
+        if c == '"' {
+            break;
+        }
+    }
+    text
+}
+
+/// At a `'`: disambiguate char literal (`'a'`, `'\n'`) from lifetime
+/// (`'a`, `'static`).
+fn lex_char_or_lifetime(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let is_char = match cur.peek(1) {
+        Some('\\') => true,
+        Some(c) if is_ident_start(c) => cur.peek(2) == Some('\''),
+        Some(_) => true, // '(' , '.', digits ... always char literals
+        None => true,
+    };
+    let mut text = String::new();
+    if is_char {
+        if let Some(q) = cur.bump() {
+            text.push(q);
+        }
+        while let Some(c) = cur.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(escaped) = cur.bump() {
+                    text.push(escaped);
+                }
+                continue;
+            }
+            if c == '\'' {
+                break;
+            }
+        }
+        return Token {
+            kind: TokenKind::Str,
+            text,
+            line,
+            col,
+        };
+    }
+    if let Some(q) = cur.bump() {
+        text.push(q);
+    }
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token {
+        kind: TokenKind::Lifetime,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Consume a number. `1..n` must not swallow the range dots, while
+/// `2.5` and `1e-3` stay single tokens.
+fn lex_number(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+            // Exponent sign: 1e-3 / 2.5E+10.
+            if (c == 'e' || c == 'E')
+                && !text.starts_with("0x")
+                && matches!(cur.peek(0), Some('+') | Some('-'))
+                && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                text.push(cur.bump().unwrap_or('-'));
+            }
+            continue;
+        }
+        if c == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) && !text.contains('.') {
+            text.push(c);
+            cur.bump();
+            continue;
+        }
+        break;
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("foo.unwrap()");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "foo".to_string()),
+                (TokenKind::Punct, ".".to_string()),
+                (TokenKind::Ident, "unwrap".to_string()),
+                (TokenKind::Punct, "(".to_string()),
+                (TokenKind::Punct, ")".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let toks = kinds(r#"let m = "call .unwrap() here";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "unwrap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; x"###);
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Str));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "two 'a lifetimes: {toks:?}");
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(chars.len(), 2, "'x' and '\\n': {toks:?}");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..10 { let f = 2.5; let h = 0x1f; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "10"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "2.5"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0x1f"));
+        assert_eq!(
+            toks.iter().filter(|(_, t)| t == ".").count(),
+            2,
+            "the range's two dots survive as punctuation"
+        );
+    }
+
+    #[test]
+    fn comments_preserved_for_annotations() {
+        let toks = kinds("struct S {\n    // lint: lock-order writer < map\n    writer: u32,\n}");
+        assert!(toks.iter().any(
+            |(k, t)| *k == TokenKind::LineComment && t.contains("lock-order writer < map")
+        ));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "code"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = tokenize("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

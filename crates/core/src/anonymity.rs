@@ -157,7 +157,9 @@ pub fn anonymise(
         let mut classes: Vec<TermId> = pending.keys().copied().collect();
         classes.sort_unstable();
         for class in classes {
-            let cell = pending.remove(&class).expect("key exists");
+            let Some(cell) = pending.remove(&class) else {
+                continue;
+            };
             if cell.users.len() >= k {
                 let merged = disclosed_cells.entry(class).or_default();
                 merged.users.extend(cell.users.iter().copied());

@@ -477,8 +477,13 @@ impl ReportCache {
                 out[ix] = Some(self.insert(fingerprint, report));
             }
         }
+        // Every slot is filled (cached or just computed); the fallback
+        // recomputes rather than panicking on the serving path.
         out.into_iter()
-            .map(|r| r.expect("every measure either cached or computed"))
+            .zip(registry.all().iter())
+            .map(|(r, measure)| {
+                r.unwrap_or_else(|| self.insert(fingerprint, measure.compute(ctx)))
+            })
             .collect()
     }
 

@@ -141,7 +141,9 @@ pub fn select_mmr(
                 best = Some((i, objective));
             }
         }
-        let (i, objective) = best.expect("candidates remain");
+        let Some((i, objective)) = best else {
+            break;
+        };
         picked[i] = true;
         selected.push((i, objective));
     }

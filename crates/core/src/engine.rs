@@ -495,7 +495,9 @@ fn fan_out<T: Sync, R: Send>(
     std::thread::scope(|scope| {
         let f = &f;
         let mut chunks: Vec<&[T]> = items.chunks(chunk).collect();
-        let last = chunks.pop().expect("items is non-empty");
+        let Some(last) = chunks.pop() else {
+            return Vec::new();
+        };
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|slice| scope.spawn(move || slice.iter().map(f).collect::<Vec<R>>()))
@@ -503,7 +505,7 @@ fn fan_out<T: Sync, R: Send>(
         let tail: Vec<R> = last.iter().map(f).collect();
         let mut out: Vec<R> = handles
             .into_iter()
-            .flat_map(|h| h.join().expect("fan-out worker panicked"))
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect();
         out.extend(tail);
         out

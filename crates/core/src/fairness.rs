@@ -168,7 +168,9 @@ pub fn select_for_group(
                         best = Some((i, min, mean));
                     }
                 }
-                let (i, _, _) = best.expect("candidates remain");
+                let Some((i, _, _)) = best else {
+                    break;
+                };
                 picked[i] = true;
                 selection.push(i);
             }

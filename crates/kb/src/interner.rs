@@ -37,9 +37,11 @@ impl TermInterner {
         if let Some(&id) = self.index.get(&term) {
             return id;
         }
-        let id = TermId::from_u32(
-            u32::try_from(self.terms.len()).expect("interner capacity exceeded u32::MAX terms"),
+        assert!(
+            u32::try_from(self.terms.len()).is_ok(),
+            "interner capacity exceeded u32::MAX terms"
         );
+        let id = TermId::from_u32(self.terms.len() as u32);
         self.index.insert(term.clone(), id);
         self.terms.push(term);
         id

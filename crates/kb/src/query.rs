@@ -139,9 +139,11 @@ impl Query {
                 "every variable must appear in some pattern"
             );
         }
+        // The assertion above guarantees every binding is `Some`;
+        // `flatten` drops nothing.
         let mut out: Vec<Vec<TermId>> = rows
             .into_iter()
-            .map(|row| row.into_iter().map(|b| b.expect("checked")).collect())
+            .map(|row| row.into_iter().flatten().collect())
             .collect();
         out.sort_unstable();
         out.dedup();

@@ -1,0 +1,115 @@
+//! Deterministic-interleaving scheduler shim — a mini-loom for the
+//! workspace's lock-free serving stack.
+//!
+//! The hot path (bounded MPSC `BoundedLog`, atomic-swap `LiveContext`
+//! and `ProfileStore` publication, the `AdaptWorker` flush barrier) is
+//! built on hand-rolled concurrency idioms that ordinary `cargo test`
+//! cannot meaningfully exercise for races: the OS scheduler explores a
+//! handful of interleavings per run, always roughly the same ones. This
+//! crate closes that gap with two compile modes:
+//!
+//! * **Default build** (`cfg(evorec_sched)` absent): [`sync`] and
+//!   [`thread`] are zero-cost facades over `std` — a non-poisoning
+//!   `Mutex`/`RwLock`/`Condvar` (the `parking_lot` shape) plus
+//!   re-exported atomics and `std::thread::spawn`. [`model`] runs its
+//!   closure exactly once, so interleaving models double as plain
+//!   concurrency smoke tests under tier-1 `cargo test`.
+//!
+//! * **Instrumented build** (`RUSTFLAGS="--cfg evorec_sched"`): every
+//!   primitive *constructed inside a [`model`] run* becomes a
+//!   cooperative scheduling point. Only one model thread runs at a
+//!   time; at each visible operation (lock acquire, atomic access,
+//!   condvar wait/notify, spawn/join) the active thread consults a
+//!   recorded decision path and hands control over. [`Builder::explore`]
+//!   then enumerates the whole bounded tree of schedules depth-first —
+//!   replaying the model closure once per schedule — so an assertion
+//!   that holds after exploration holds for *every* interleaving within
+//!   the bound: lost events, torn publications, and misordered commits
+//!   have nowhere to hide.
+//!
+//! # Writing a model
+//!
+//! ```ignore
+//! let report = sched::Builder::default().explore(|| {
+//!     let log = std::sync::Arc::new(BoundedLog::<u32>::bounded(1));
+//!     let producer = {
+//!         let log = std::sync::Arc::clone(&log);
+//!         sched::thread::spawn(move || log.push(7).is_ok())
+//!     };
+//!     log.close();
+//!     let drained = log.try_pop_batch(4);
+//!     let accepted = producer.join().unwrap();
+//!     assert_eq!(accepted, drained.contains(&7), "no lost or phantom event");
+//! });
+//! ```
+//!
+//! Rules of the game:
+//!
+//! * Create every shared primitive *inside* the closure — objects made
+//!   outside a run fall back to plain `std` behaviour and add no
+//!   scheduling points (safe, but unexplored).
+//! * Models must be deterministic: no clocks, no randomness, no
+//!   iteration over randomized hash maps that changes *control flow*.
+//! * No spin loops — block on the primitives instead (a spinning
+//!   thread makes the schedule tree infinite).
+//! * Record run outcomes in a plain `std::sync::Mutex` (uninstrumented
+//!   on purpose) and assert at the end of the closure.
+//! * Keep models tiny (2–4 threads, a handful of operations each), or
+//!   set [`Builder::preemption_bound`] — schedule counts grow
+//!   combinatorially.
+//!
+//! Timeouts never fire under the instrumented scheduler
+//! ([`sync::Condvar::wait_timeout`] degenerates to `wait`): a model
+//! whose progress depends on a timeout deadlocks, and the harness
+//! reports it — by design, since production code must not rely on
+//! timers for correctness either.
+
+#![warn(missing_docs)]
+// The model runtime intentionally panics (that is how a failing
+// schedule surfaces) and parks threads; none of it is hot-path code.
+
+#[cfg(evorec_sched)]
+mod rt;
+
+pub mod sync;
+pub mod thread;
+
+#[cfg(evorec_sched)]
+pub use rt::{Builder, Report};
+
+/// What an exploration did. Under `cfg(evorec_sched)` this counts every
+/// schedule enumerated; in the default build a model runs once.
+#[cfg(not(evorec_sched))]
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Number of schedules the closure was executed under.
+    pub schedules: usize,
+}
+
+/// Exploration knobs. In the default (uninstrumented) build every
+/// configuration runs the closure exactly once.
+#[cfg(not(evorec_sched))]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Builder {
+    /// Maximum context switches away from a still-runnable thread per
+    /// schedule (CHESS-style preemption bounding). `None` = exhaustive.
+    pub preemption_bound: Option<usize>,
+    /// Abort exploration beyond this many schedules (0 = default cap).
+    pub max_schedules: usize,
+}
+
+#[cfg(not(evorec_sched))]
+impl Builder {
+    /// Run `f` once (the uninstrumented build has exactly one schedule:
+    /// whatever the OS does).
+    pub fn explore<F: Fn() + Send + Sync + 'static>(&self, f: F) -> Report {
+        f();
+        Report { schedules: 1 }
+    }
+}
+
+/// Explore `f` under the default [`Builder`]. In the default build this
+/// simply runs `f` once — models double as ordinary concurrency tests.
+pub fn model<F: Fn() + Send + Sync + 'static>(f: F) -> Report {
+    Builder::default().explore(f)
+}

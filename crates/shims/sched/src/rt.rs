@@ -1,0 +1,621 @@
+//! The `cfg(evorec_sched)` runtime: a cooperative, deterministic
+//! scheduler plus a depth-first explorer over its decision tree.
+//!
+//! # How it works
+//!
+//! Every model thread is a real OS thread, but at most one is ever
+//! *active*: all others are parked on the run-wide condvar waiting for
+//! `active == Some(me)`. Before each visible operation (lock acquire,
+//! atomic access, condvar wait/notify, spawn, join) the active thread
+//! reaches a *scheduling point*: it computes the set of runnable
+//! threads and consults the recorded decision path to pick which runs
+//! next. The first execution records `index: 0` at every branch; the
+//! explorer then backtracks — bump the last incrementable choice, drop
+//! the suffix — and replays until the tree is exhausted. Because the
+//! models are deterministic, replaying a prefix reproduces the exact
+//! same branch points (this is asserted: a divergence aborts the run
+//! as "nondeterministic model").
+//!
+//! Blocking is *logical*: a model `Mutex` tracks a `locked` bit inside
+//! [`Inner`], and a thread only touches the real `std` lock after the
+//! logical grant — at which point it is uncontended by construction,
+//! since no other thread is running. Deadlock is therefore detectable
+//! exactly: no runnable threads + not all finished = deadlock.
+//!
+//! Preemption bounding (CHESS-style) keeps big models tractable: once
+//! a schedule has spent its budget of switches *away from a runnable
+//! thread*, the active thread is forced to continue and no decision is
+//! recorded. Bugs overwhelmingly need few preemptions, so a small
+//! bound explores the interesting schedules at a fraction of the cost.
+//!
+//! Abort paths (a thread panicked, deadlock, step/schedule explosion)
+//! set `done` and wake everyone; parked threads unwind with a marker
+//! panic so their stacks run destructors, and the explorer re-raises
+//! the original failure annotated with the schedule's decision path.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Payload of the internal panic used to unwind parked threads once a
+/// run is over. Never reported as a model failure.
+pub(crate) const ABORT_MARKER: &str = "evorec-sched: model run aborted";
+
+const DEFAULT_MAX_SCHEDULES: usize = 1 << 18;
+const MAX_STEPS_PER_SCHEDULE: usize = 50_000;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Run>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The run (if any) this OS thread is executing a model under, plus its
+/// model thread id.
+pub(crate) fn current() -> Option<(Arc<Run>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(run: Arc<Run>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((run, tid)));
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Yield point for operations on primitives that need no registration
+/// (atomics): a no-op outside a model.
+pub(crate) fn maybe_yield() {
+    if let Some((run, me)) = current() {
+        run.yield_point(me);
+    }
+}
+
+pub(crate) fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload
+        .downcast_ref::<&'static str>()
+        .is_some_and(|s| *s == ABORT_MARKER)
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// One recorded scheduling decision: which of `options` runnable
+/// threads was picked. `options` is kept so replay can verify the
+/// branch point reproduced identically.
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    index: usize,
+    options: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Block {
+    Lock(usize),
+    Read(usize),
+    Write(usize),
+    Cvar(usize),
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+/// Logical state of one registered lock. A `Mutex` uses only `writer`;
+/// an `RwLock` uses both fields.
+#[derive(Clone, Copy, Debug, Default)]
+struct LockState {
+    writer: bool,
+    readers: usize,
+}
+
+struct Inner {
+    threads: Vec<TState>,
+    locks: Vec<LockState>,
+    cvars: Vec<VecDeque<usize>>,
+    path: Vec<Choice>,
+    cursor: usize,
+    preemptions: usize,
+    bound: Option<usize>,
+    active: Option<usize>,
+    done: bool,
+    deadlock: bool,
+    panic: Option<String>,
+    steps: usize,
+}
+
+/// One schedule's worth of shared scheduler state. Primitives hold a
+/// `Weak<Run>` so objects outliving their run fall back to `std`.
+pub(crate) struct Run {
+    mx: StdMutex<Inner>,
+    cv: StdCondvar,
+}
+
+impl Run {
+    fn new(prefix: Vec<Choice>, bound: Option<usize>) -> Run {
+        Run {
+            mx: StdMutex::new(Inner {
+                threads: vec![TState::Runnable],
+                locks: Vec::new(),
+                cvars: Vec::new(),
+                path: prefix,
+                cursor: 0,
+                preemptions: 0,
+                bound,
+                active: Some(0),
+                done: false,
+                deadlock: false,
+                panic: None,
+                steps: 0,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn inner(&self) -> StdMutexGuard<'_, Inner> {
+        self.mx.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    // ---- registration -------------------------------------------------
+
+    pub(crate) fn register_lock(&self) -> usize {
+        let mut inner = self.inner();
+        inner.locks.push(LockState::default());
+        inner.locks.len() - 1
+    }
+
+    pub(crate) fn register_cvar(&self) -> usize {
+        let mut inner = self.inner();
+        inner.cvars.push(VecDeque::new());
+        inner.cvars.len() - 1
+    }
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut inner = self.inner();
+        inner.threads.push(TState::Runnable);
+        inner.threads.len() - 1
+    }
+
+    // ---- core scheduling ----------------------------------------------
+
+    /// Pick the next active thread. `self_runnable` says whether the
+    /// calling thread is still a candidate (false when it just blocked
+    /// or finished). Sets `done` on deadlock/termination/abort.
+    fn reschedule(&self, inner: &mut Inner, me: usize, self_runnable: bool) {
+        inner.steps += 1;
+        if inner.steps > MAX_STEPS_PER_SCHEDULE {
+            self.abort_locked(
+                inner,
+                format!(
+                    "schedule exceeded {MAX_STEPS_PER_SCHEDULE} scheduling points — \
+                     does the model spin instead of blocking?"
+                ),
+            );
+            return;
+        }
+        let candidates: Vec<usize> = inner
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, TState::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            let all_finished = inner.threads.iter().all(|t| matches!(t, TState::Finished));
+            inner.deadlock = !all_finished;
+            inner.done = true;
+            inner.active = None;
+            self.cv.notify_all();
+            return;
+        }
+        let chosen = if candidates.len() == 1 {
+            candidates[0]
+        } else if self_runnable && inner.bound.is_some_and(|b| inner.preemptions >= b) {
+            // Preemption budget spent: the active thread must continue.
+            // Not a recorded decision — replay reproduces it from the
+            // same budget arithmetic.
+            me
+        } else {
+            let idx = if inner.cursor < inner.path.len() {
+                let c = inner.path[inner.cursor];
+                if c.options != candidates.len() {
+                    self.abort_locked(
+                        inner,
+                        format!(
+                            "nondeterministic model: replay found {} runnable threads where \
+                             the recorded schedule saw {} (decision #{})",
+                            candidates.len(),
+                            c.options,
+                            inner.cursor
+                        ),
+                    );
+                    return;
+                }
+                c.index
+            } else {
+                inner.path.push(Choice {
+                    index: 0,
+                    options: candidates.len(),
+                });
+                0
+            };
+            inner.cursor += 1;
+            candidates[idx]
+        };
+        if self_runnable && chosen != me {
+            inner.preemptions += 1;
+        }
+        inner.active = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    fn abort_locked(&self, inner: &mut Inner, msg: String) {
+        if inner.panic.is_none() {
+            inner.panic = Some(msg);
+        }
+        inner.done = true;
+        inner.active = None;
+        self.cv.notify_all();
+    }
+
+    /// Wait until this thread is scheduled. If the run was aborted in
+    /// the meantime, unwind with the abort marker (or, when already
+    /// panicking, limp along so destructors can finish — the run is
+    /// over and real `std` primitives keep the limp path memory-safe).
+    fn park(&self, mut inner: StdMutexGuard<'_, Inner>, me: usize) {
+        loop {
+            if inner.done {
+                drop(inner);
+                if std::thread::panicking() {
+                    return;
+                }
+                panic!("{}", ABORT_MARKER);
+            }
+            if inner.active == Some(me) {
+                return;
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A plain scheduling point: any runnable thread (including the
+    /// caller) may run next.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut inner = self.inner();
+        if inner.done {
+            drop(inner);
+            if std::thread::panicking() {
+                return;
+            }
+            panic!("{}", ABORT_MARKER);
+        }
+        self.reschedule(&mut inner, me, true);
+        self.park(inner, me);
+    }
+
+    /// Called by a freshly spawned model thread; blocks until first
+    /// scheduled.
+    pub(crate) fn enter(&self, me: usize) {
+        let inner = self.inner();
+        self.park(inner, me);
+    }
+
+    /// Called exactly once as a model thread ends. A non-`None`
+    /// `panic_msg` (a user panic, not the abort marker) fails the whole
+    /// run.
+    pub(crate) fn finish(&self, me: usize, panic_msg: Option<String>) {
+        let mut inner = self.inner();
+        inner.threads[me] = TState::Finished;
+        if inner.done {
+            self.cv.notify_all();
+            return;
+        }
+        if let Some(msg) = panic_msg {
+            self.abort_locked(&mut inner, msg);
+            return;
+        }
+        for t in inner.threads.iter_mut() {
+            if *t == TState::Blocked(Block::Join(me)) {
+                *t = TState::Runnable;
+            }
+        }
+        self.reschedule(&mut inner, me, false);
+    }
+
+    pub(crate) fn thread_finished(&self, tid: usize) -> bool {
+        matches!(self.inner().threads[tid], TState::Finished)
+    }
+
+    pub(crate) fn join_wait(&self, me: usize, tid: usize) {
+        self.yield_point(me);
+        loop {
+            let mut inner = self.inner();
+            if matches!(inner.threads[tid], TState::Finished) {
+                return;
+            }
+            inner.threads[me] = TState::Blocked(Block::Join(tid));
+            self.reschedule(&mut inner, me, false);
+            self.park(inner, me);
+        }
+    }
+
+    // ---- locks ---------------------------------------------------------
+
+    fn wake_lock_waiters(inner: &mut Inner, id: usize) {
+        for t in inner.threads.iter_mut() {
+            if matches!(
+                t,
+                TState::Blocked(Block::Lock(l) | Block::Read(l) | Block::Write(l)) if *l == id
+            ) {
+                *t = TState::Runnable;
+            }
+        }
+    }
+
+    /// Acquire a mutex (logically). `yield_first` is false when the
+    /// caller is already at a scheduling point (condvar wakeup).
+    pub(crate) fn mutex_acquire(&self, me: usize, id: usize, yield_first: bool) {
+        if yield_first {
+            self.yield_point(me);
+        }
+        loop {
+            let mut inner = self.inner();
+            if inner.done {
+                // Aborted run: grant without bookkeeping so unwinding
+                // destructors can proceed.
+                drop(inner);
+                if std::thread::panicking() {
+                    return;
+                }
+                panic!("{}", ABORT_MARKER);
+            }
+            let lock = &mut inner.locks[id];
+            if !lock.writer && lock.readers == 0 {
+                lock.writer = true;
+                return;
+            }
+            inner.threads[me] = TState::Blocked(Block::Lock(id));
+            self.reschedule(&mut inner, me, false);
+            self.park(inner, me);
+        }
+    }
+
+    pub(crate) fn mutex_release(&self, _me: usize, id: usize) {
+        let mut inner = self.inner();
+        inner.locks[id].writer = false;
+        Run::wake_lock_waiters(&mut inner, id);
+    }
+
+    pub(crate) fn read_acquire(&self, me: usize, id: usize) {
+        self.yield_point(me);
+        loop {
+            let mut inner = self.inner();
+            if inner.done {
+                drop(inner);
+                if std::thread::panicking() {
+                    return;
+                }
+                panic!("{}", ABORT_MARKER);
+            }
+            let lock = &mut inner.locks[id];
+            if !lock.writer {
+                lock.readers += 1;
+                return;
+            }
+            inner.threads[me] = TState::Blocked(Block::Read(id));
+            self.reschedule(&mut inner, me, false);
+            self.park(inner, me);
+        }
+    }
+
+    pub(crate) fn read_release(&self, _me: usize, id: usize) {
+        let mut inner = self.inner();
+        inner.locks[id].readers = inner.locks[id].readers.saturating_sub(1);
+        if inner.locks[id].readers == 0 {
+            Run::wake_lock_waiters(&mut inner, id);
+        }
+    }
+
+    pub(crate) fn write_acquire(&self, me: usize, id: usize) {
+        self.yield_point(me);
+        loop {
+            let mut inner = self.inner();
+            if inner.done {
+                drop(inner);
+                if std::thread::panicking() {
+                    return;
+                }
+                panic!("{}", ABORT_MARKER);
+            }
+            let lock = &mut inner.locks[id];
+            if !lock.writer && lock.readers == 0 {
+                lock.writer = true;
+                return;
+            }
+            inner.threads[me] = TState::Blocked(Block::Write(id));
+            self.reschedule(&mut inner, me, false);
+            self.park(inner, me);
+        }
+    }
+
+    pub(crate) fn write_release(&self, me: usize, id: usize) {
+        self.mutex_release(me, id);
+    }
+
+    // ---- condvars ------------------------------------------------------
+
+    /// Atomically release the (logically held) mutex `lock_id` and
+    /// block on condvar `cv_id`. On return the thread has been woken
+    /// and scheduled, but does NOT hold the lock — the caller
+    /// reacquires it, competing like any waiter (this mirrors real
+    /// condvar semantics and explores the handoff races).
+    pub(crate) fn cvar_wait(&self, me: usize, cv_id: usize, lock_id: usize) {
+        let mut inner = self.inner();
+        if inner.done {
+            drop(inner);
+            if std::thread::panicking() {
+                return;
+            }
+            panic!("{}", ABORT_MARKER);
+        }
+        inner.locks[lock_id].writer = false;
+        Run::wake_lock_waiters(&mut inner, lock_id);
+        inner.cvars[cv_id].push_back(me);
+        inner.threads[me] = TState::Blocked(Block::Cvar(cv_id));
+        self.reschedule(&mut inner, me, false);
+        self.park(inner, me);
+    }
+
+    /// Wake waiters. `notify_one` wakes the longest-waiting thread
+    /// (FIFO) — a deliberate simplification of the "any waiter" real
+    /// semantics; `notify_all` wakes every waiter, so models that must
+    /// not depend on wake order should use it (as the production code
+    /// does at every broadcast point).
+    pub(crate) fn cvar_notify(&self, me: usize, cv_id: usize, all: bool) {
+        self.yield_point(me);
+        let mut inner = self.inner();
+        if all {
+            while let Some(t) = inner.cvars[cv_id].pop_front() {
+                if inner.threads[t] == TState::Blocked(Block::Cvar(cv_id)) {
+                    inner.threads[t] = TState::Runnable;
+                }
+            }
+        } else if let Some(t) = inner.cvars[cv_id].pop_front() {
+            if inner.threads[t] == TState::Blocked(Block::Cvar(cv_id)) {
+                inner.threads[t] = TState::Runnable;
+            }
+        }
+    }
+}
+
+// ---- exploration -------------------------------------------------------
+
+/// What an exploration did: how many schedules were enumerated. A
+/// returned `Report` means every one of them passed.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Number of complete schedules executed.
+    pub schedules: usize,
+}
+
+/// Exploration knobs. Identical field layout to the uninstrumented
+/// build so model tests compile under both.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Builder {
+    /// Maximum context switches away from a still-runnable thread per
+    /// schedule (CHESS-style preemption bounding). `None` = exhaustive.
+    pub preemption_bound: Option<usize>,
+    /// Abort exploration beyond this many schedules (0 = default cap of
+    /// 262 144).
+    pub max_schedules: usize,
+}
+
+struct RunOutcome {
+    path: Vec<Choice>,
+    panic: Option<String>,
+    deadlock: bool,
+}
+
+fn run_once<F>(f: &Arc<F>, prefix: Vec<Choice>, bound: Option<usize>) -> RunOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let run = Arc::new(Run::new(prefix, bound));
+    let main = {
+        let f = Arc::clone(f);
+        let run = Arc::clone(&run);
+        std::thread::spawn(move || {
+            set_current(Arc::clone(&run), 0);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f()));
+            let msg = match &result {
+                Ok(()) => None,
+                Err(p) if is_abort(p.as_ref()) => None,
+                Err(p) => Some(panic_message(p.as_ref())),
+            };
+            run.finish(0, msg);
+            clear_current();
+        })
+    };
+    {
+        let mut inner = run.inner();
+        while !inner.done {
+            inner = run.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let _ = main.join();
+    let inner = run.inner();
+    RunOutcome {
+        path: inner.path.clone(),
+        panic: inner.panic.clone(),
+        deadlock: inner.deadlock,
+    }
+}
+
+fn path_indices(path: &[Choice]) -> Vec<usize> {
+    path.iter().map(|c| c.index).collect()
+}
+
+impl Builder {
+    /// Exhaustively execute `f` under every schedule within the bounds,
+    /// depth-first. Panics — annotated with the failing schedule's
+    /// decision path so it can be studied — if any schedule panics,
+    /// deadlocks, or the schedule space overflows the cap.
+    pub fn explore<F: Fn() + Send + Sync + 'static>(&self, f: F) -> Report {
+        let f = Arc::new(f);
+        let cap = if self.max_schedules == 0 {
+            DEFAULT_MAX_SCHEDULES
+        } else {
+            self.max_schedules
+        };
+        let mut prefix: Vec<Choice> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            let out = run_once(&f, prefix, self.preemption_bound);
+            schedules += 1;
+            if let Some(msg) = out.panic {
+                panic!(
+                    "sched model failed on schedule #{schedules} (decision path {:?}): {msg}",
+                    path_indices(&out.path)
+                );
+            }
+            if out.deadlock {
+                panic!(
+                    "sched model deadlocked on schedule #{schedules} (decision path {:?})",
+                    path_indices(&out.path)
+                );
+            }
+            // Depth-first backtrack: bump the deepest incrementable
+            // decision, discard everything after it.
+            let mut path = out.path;
+            loop {
+                match path.last_mut() {
+                    None => return Report { schedules },
+                    Some(c) if c.index + 1 < c.options => {
+                        c.index += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        path.pop();
+                    }
+                }
+            }
+            assert!(
+                schedules < cap,
+                "sched exploration exceeded {cap} schedules — shrink the model or set \
+                 Builder::preemption_bound"
+            );
+            prefix = path;
+        }
+    }
+}
+

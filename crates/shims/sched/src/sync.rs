@@ -1,0 +1,572 @@
+//! Synchronization primitives: non-poisoning `Mutex`/`RwLock`/`Condvar`
+//! (the `parking_lot` shape) plus atomics.
+//!
+//! In the default build these are thin delegations to `std` — poison is
+//! swallowed via `into_inner`, guards are returned directly rather than
+//! wrapped in `Result`, and the atomics are literal re-exports. Under
+//! `cfg(evorec_sched)`, primitives constructed *inside a model run*
+//! additionally carry a registration with the run's scheduler: every
+//! acquire/wait/notify/atomic-op becomes a deterministic scheduling
+//! point, and blocking is tracked logically so the explorer can see —
+//! and enumerate — exactly who could run next. Primitives constructed
+//! outside a run (or outliving it) behave like the default build.
+
+#[cfg(evorec_sched)]
+use crate::rt;
+#[cfg(evorec_sched)]
+use std::sync::{Arc, Weak};
+use std::sync::{
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard,
+};
+use std::time::Duration;
+
+/// The scheduler registration a primitive carries when built inside a
+/// model run: the run it belongs to and its slot id there.
+#[cfg(evorec_sched)]
+type Registration = Option<(Weak<rt::Run>, usize)>;
+
+#[cfg(evorec_sched)]
+fn register_lock() -> Registration {
+    rt::current().map(|(run, _)| {
+        let id = run.register_lock();
+        (Arc::downgrade(&run), id)
+    })
+}
+
+#[cfg(evorec_sched)]
+fn resolve(reg: &Registration) -> Option<(Arc<rt::Run>, usize, usize)> {
+    let (weak, id) = reg.as_ref()?;
+    let registered = weak.upgrade()?;
+    let (run, me) = rt::current()?;
+    if Arc::ptr_eq(&registered, &run) {
+        Some((run, me, *id))
+    } else {
+        None
+    }
+}
+
+// ---- Mutex --------------------------------------------------------------
+
+/// A mutual-exclusion lock. Non-poisoning; instrumented inside model
+/// runs.
+pub struct Mutex<T> {
+    #[cfg(evorec_sched)]
+    model: Registration,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            #[cfg(evorec_sched)]
+            model: register_lock(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, blocking until it is free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(evorec_sched)]
+        let logical = match resolve(&self.model) {
+            Some((run, me, id)) => {
+                run.mutex_acquire(me, id, true);
+                true
+            }
+            None => false,
+        };
+        MutexGuard {
+            lock: self,
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+            #[cfg(evorec_sched)]
+            logical,
+        }
+    }
+
+    /// Mutable access without locking (the `&mut` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the mutex, returning its value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Mutex { .. }")
+    }
+}
+
+/// RAII guard of a [`Mutex`]; releases on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    #[cfg(evorec_sched)]
+    logical: bool,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Real lock first, logical second: the moment another model
+        // thread is granted the logical lock, the real one must already
+        // be free.
+        drop(self.inner.take());
+        #[cfg(evorec_sched)]
+        if self.logical {
+            if let Some((run, me, id)) = resolve(&self.lock.model) {
+                run.mutex_release(me, id);
+            }
+        }
+    }
+}
+
+// ---- Condvar ------------------------------------------------------------
+
+/// A condition variable, paired with [`Mutex`]. Non-poisoning;
+/// instrumented inside model runs (where `notify_one` wakes FIFO and
+/// `wait_timeout` never times out — see the crate docs).
+pub struct Condvar {
+    #[cfg(evorec_sched)]
+    model: Registration,
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub fn new() -> Condvar {
+        Condvar {
+            #[cfg(evorec_sched)]
+            model: rt::current().map(|(run, _)| {
+                let id = run.register_cvar();
+                (Arc::downgrade(&run), id)
+            }),
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Atomically release `guard`'s lock and sleep until notified;
+    /// reacquires the lock before returning.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        #[cfg(evorec_sched)]
+        if guard.logical {
+            if let Some((run, me, cv_id)) = resolve(&self.model) {
+                let mutex = guard.lock;
+                if let Some((_, _, lock_id)) = resolve(&mutex.model) {
+                    // Suppress the guard's own release: cvar_wait
+                    // releases the logical lock atomically with
+                    // enqueueing, which is the whole point.
+                    guard.logical = false;
+                    drop(guard.inner.take());
+                    drop(guard);
+                    run.cvar_wait(me, cv_id, lock_id);
+                    // Woken and scheduled; compete for the lock like
+                    // any other waiter (no extra yield — we are fresh
+                    // off a scheduling point).
+                    run.mutex_acquire(me, lock_id, false);
+                    return MutexGuard {
+                        lock: mutex,
+                        inner: Some(mutex.inner.lock().unwrap_or_else(|e| e.into_inner())),
+                        logical: true,
+                    };
+                }
+            }
+        }
+        let mutex = guard.lock;
+        #[cfg(evorec_sched)]
+        let logical = std::mem::replace(&mut guard.logical, false);
+        let std_guard = guard.inner.take().expect("guard holds the lock");
+        drop(guard);
+        let woken = self.inner.wait(std_guard).unwrap_or_else(|e| e.into_inner());
+        MutexGuard {
+            lock: mutex,
+            inner: Some(woken),
+            #[cfg(evorec_sched)]
+            logical,
+        }
+    }
+
+    /// Like [`wait`](Condvar::wait) with a wakeup deadline; the `bool`
+    /// is `true` on timeout. Inside a model run the timeout NEVER
+    /// fires (progress must come from notification) — a model relying
+    /// on it deadlocks, and the harness reports exactly that.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        #[cfg(evorec_sched)]
+        if guard.logical && resolve(&self.model).is_some() {
+            return (self.wait(guard), false);
+        }
+        let mutex = guard.lock;
+        #[cfg(evorec_sched)]
+        let logical = std::mem::replace(&mut guard.logical, false);
+        let std_guard = guard.inner.take().expect("guard holds the lock");
+        drop(guard);
+        let (woken, res) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        (
+            MutexGuard {
+                lock: mutex,
+                inner: Some(woken),
+                #[cfg(evorec_sched)]
+                logical,
+            },
+            res.timed_out(),
+        )
+    }
+
+    /// Wake one waiter (the longest-waiting one, inside a model run).
+    pub fn notify_one(&self) {
+        #[cfg(evorec_sched)]
+        if let Some((run, me, cv_id)) = resolve(&self.model) {
+            run.cvar_notify(me, cv_id, false);
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        #[cfg(evorec_sched)]
+        if let Some((run, me, cv_id)) = resolve(&self.model) {
+            run.cvar_notify(me, cv_id, true);
+            return;
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+// ---- RwLock -------------------------------------------------------------
+
+/// A reader-writer lock. Non-poisoning; instrumented inside model runs.
+pub struct RwLock<T> {
+    #[cfg(evorec_sched)]
+    model: Registration,
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// A new unlocked lock holding `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            #[cfg(evorec_sched)]
+            model: register_lock(),
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Acquire shared read access, blocking while a writer holds the
+    /// lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(evorec_sched)]
+        let logical = match resolve(&self.model) {
+            Some((run, me, id)) => {
+                run.read_acquire(me, id);
+                true
+            }
+            None => false,
+        };
+        RwLockReadGuard {
+            lock: self,
+            inner: Some(self.inner.read().unwrap_or_else(|e| e.into_inner())),
+            #[cfg(evorec_sched)]
+            logical,
+        }
+    }
+
+    /// Acquire exclusive write access, blocking until all readers and
+    /// writers are gone.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(evorec_sched)]
+        let logical = match resolve(&self.model) {
+            Some((run, me, id)) => {
+                run.write_acquire(me, id);
+                true
+            }
+            None => false,
+        };
+        RwLockWriteGuard {
+            lock: self,
+            inner: Some(self.inner.write().unwrap_or_else(|e| e.into_inner())),
+            #[cfg(evorec_sched)]
+            logical,
+        }
+    }
+
+    /// Mutable access without locking (the `&mut` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the lock, returning its value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("RwLock { .. }")
+    }
+}
+
+/// RAII shared-read guard of an [`RwLock`]; releases on drop.
+pub struct RwLockReadGuard<'a, T> {
+    #[cfg_attr(not(evorec_sched), allow(dead_code))]
+    lock: &'a RwLock<T>,
+    inner: Option<StdReadGuard<'a, T>>,
+    #[cfg(evorec_sched)]
+    logical: bool,
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        #[cfg(evorec_sched)]
+        if self.logical {
+            if let Some((run, me, id)) = resolve(&self.lock.model) {
+                run.read_release(me, id);
+            }
+        }
+    }
+}
+
+/// RAII exclusive-write guard of an [`RwLock`]; releases on drop.
+pub struct RwLockWriteGuard<'a, T> {
+    #[cfg_attr(not(evorec_sched), allow(dead_code))]
+    lock: &'a RwLock<T>,
+    inner: Option<StdWriteGuard<'a, T>>,
+    #[cfg(evorec_sched)]
+    logical: bool,
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        #[cfg(evorec_sched)]
+        if self.logical {
+            if let Some((run, me, id)) = resolve(&self.lock.model) {
+                run.write_release(me, id);
+            }
+        }
+    }
+}
+
+// ---- atomics ------------------------------------------------------------
+
+/// Atomic types: literal `std` re-exports in the default build; under
+/// `cfg(evorec_sched)` each operation is one scheduling point (the op
+/// itself then runs on the real `std` atomic while the thread is the
+/// only one executing, so the *interleaving* of atomic ops is what the
+/// explorer enumerates). Atomics need no registration: a fresh model
+/// schedule sees only its own freshly constructed values.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(not(evorec_sched))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+    #[cfg(evorec_sched)]
+    macro_rules! numeric_atomic {
+        ($name:ident, $std:ident, $prim:ty) => {
+            /// An instrumented numeric atomic: same API as the `std`
+            /// type, every operation a scheduling point inside a model
+            /// run.
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// A new atomic holding `value`.
+                pub const fn new(value: $prim) -> Self {
+                    Self {
+                        inner: std::sync::atomic::$std::new(value),
+                    }
+                }
+
+                /// Atomic load.
+                pub fn load(&self, order: Ordering) -> $prim {
+                    crate::rt::maybe_yield();
+                    self.inner.load(order)
+                }
+
+                /// Atomic store.
+                pub fn store(&self, value: $prim, order: Ordering) {
+                    crate::rt::maybe_yield();
+                    self.inner.store(value, order)
+                }
+
+                /// Atomic swap, returning the previous value.
+                pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                    crate::rt::maybe_yield();
+                    self.inner.swap(value, order)
+                }
+
+                /// Atomic add, returning the previous value.
+                pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                    crate::rt::maybe_yield();
+                    self.inner.fetch_add(value, order)
+                }
+
+                /// Atomic subtract, returning the previous value.
+                pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                    crate::rt::maybe_yield();
+                    self.inner.fetch_sub(value, order)
+                }
+
+                /// Atomic max, returning the previous value.
+                pub fn fetch_max(&self, value: $prim, order: Ordering) -> $prim {
+                    crate::rt::maybe_yield();
+                    self.inner.fetch_max(value, order)
+                }
+
+                /// Atomic compare-and-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    crate::rt::maybe_yield();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Unsynchronized read (the `&mut` proves exclusivity).
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.inner.get_mut()
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(0)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.inner.fmt(f)
+                }
+            }
+        };
+    }
+
+    #[cfg(evorec_sched)]
+    numeric_atomic!(AtomicU64, AtomicU64, u64);
+    #[cfg(evorec_sched)]
+    numeric_atomic!(AtomicUsize, AtomicUsize, usize);
+
+    /// An instrumented boolean atomic: same API as `std`, every
+    /// operation a scheduling point inside a model run.
+    #[cfg(evorec_sched)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    #[cfg(evorec_sched)]
+    impl AtomicBool {
+        /// A new atomic holding `value`.
+        pub const fn new(value: bool) -> AtomicBool {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(value),
+            }
+        }
+
+        /// Atomic load.
+        pub fn load(&self, order: Ordering) -> bool {
+            crate::rt::maybe_yield();
+            self.inner.load(order)
+        }
+
+        /// Atomic store.
+        pub fn store(&self, value: bool, order: Ordering) {
+            crate::rt::maybe_yield();
+            self.inner.store(value, order)
+        }
+
+        /// Atomic swap, returning the previous value.
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            crate::rt::maybe_yield();
+            self.inner.swap(value, order)
+        }
+    }
+
+    #[cfg(evorec_sched)]
+    impl Default for AtomicBool {
+        fn default() -> AtomicBool {
+            AtomicBool::new(false)
+        }
+    }
+
+    #[cfg(evorec_sched)]
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Thread spawning and joining: `std` pass-through by default; inside a
+//! model run, spawned threads are registered with the scheduler and the
+//! spawn/join edges become scheduling points.
+
+use std::thread::Result as ThreadResult;
+
+#[cfg(evorec_sched)]
+use crate::rt;
+#[cfg(evorec_sched)]
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Handle to a spawned thread; [`join`](JoinHandle::join) returns the
+/// closure's value (or its panic payload), like `std`.
+pub struct JoinHandle<T>(Imp<T>);
+
+enum Imp<T> {
+    Std(std::thread::JoinHandle<T>),
+    #[cfg(evorec_sched)]
+    Model {
+        run: Arc<rt::Run>,
+        tid: usize,
+        slot: Arc<StdMutex<Option<ThreadResult<T>>>>,
+        real: Option<std::thread::JoinHandle<()>>,
+    },
+}
+
+/// Spawn a thread. Inside a model run the child is a scheduler-governed
+/// model thread (and the spawn itself a scheduling point — the child
+/// may run first); otherwise this is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    #[cfg(evorec_sched)]
+    if let Some((run, me)) = rt::current() {
+        let tid = run.register_thread();
+        let slot: Arc<StdMutex<Option<ThreadResult<T>>>> = Arc::new(StdMutex::new(None));
+        let real = {
+            let run = Arc::clone(&run);
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                rt::set_current(Arc::clone(&run), tid);
+                run.enter(tid);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                let msg = match &result {
+                    Ok(_) => None,
+                    Err(p) if rt::is_abort(p.as_ref()) => None,
+                    Err(p) => Some(rt::panic_message(p.as_ref())),
+                };
+                // Store the result BEFORE finishing: once `finish` runs
+                // a joiner may be scheduled and expects the slot full.
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                run.finish(tid, msg);
+                rt::clear_current();
+            })
+        };
+        run.yield_point(me);
+        return JoinHandle(Imp::Model {
+            run,
+            tid,
+            slot,
+            real: Some(real),
+        });
+    }
+    JoinHandle(Imp::Std(std::thread::spawn(f)))
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and take its result. A model
+    /// handle must be joined from a thread of the same run.
+    pub fn join(self) -> ThreadResult<T> {
+        match self.0 {
+            Imp::Std(handle) => handle.join(),
+            #[cfg(evorec_sched)]
+            Imp::Model {
+                run,
+                tid,
+                slot,
+                real,
+            } => {
+                let me = match rt::current() {
+                    Some((current, me)) if Arc::ptr_eq(&current, &run) => me,
+                    _ => panic!("model JoinHandle joined outside its model run"),
+                };
+                run.join_wait(me, tid);
+                if let Some(handle) = real {
+                    // The model thread has finished; its OS thread is
+                    // (about to be) gone. Reap it.
+                    let _ = handle.join();
+                }
+                slot.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("model thread stores its result before finishing")
+            }
+        }
+    }
+
+    /// Whether the thread has finished. Do not poll this in a model —
+    /// a poll loop is a spin loop, which the explorer rejects; join or
+    /// block on a primitive instead.
+    pub fn is_finished(&self) -> bool {
+        match &self.0 {
+            Imp::Std(handle) => handle.is_finished(),
+            #[cfg(evorec_sched)]
+            Imp::Model { run, tid, .. } => {
+                rt::maybe_yield();
+                run.thread_finished(*tid)
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("JoinHandle { .. }")
+    }
+}
+
+/// Cooperatively give up the CPU: a scheduling point inside a model
+/// run, `std::thread::yield_now` otherwise.
+pub fn yield_now() {
+    #[cfg(evorec_sched)]
+    if rt::current().is_some() {
+        rt::maybe_yield();
+        return;
+    }
+    std::thread::yield_now();
+}

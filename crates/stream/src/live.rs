@@ -18,10 +18,10 @@
 use evorec_core::{LineageId, ReportCache};
 use evorec_measures::{EvolutionContext, MeasureRegistry, MeasureReport};
 use evorec_versioning::LowLevelDelta;
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use sched::sync::atomic::{AtomicU64, Ordering};
+use sched::sync::{Mutex, RwLock};
+use sched::thread::JoinHandle;
+use std::sync::Arc;
 
 /// A serving pair attached to a [`LiveContext`]: publishes pre-warm
 /// this registry's reports into this cache.
@@ -35,8 +35,13 @@ pub struct ServingHandles {
 
 /// An atomically swapped handle to the latest published
 /// [`EvolutionContext`].
+// lint: lock-order publish_lock < current
+// lint: lock-order publish_lock < warm_worker
 pub struct LiveContext {
     current: RwLock<Arc<EvolutionContext>>,
+    /// Publication counter: readers pair an Acquire load of this with
+    /// the swapped pointer, so it must never be bumped with `Relaxed`.
+    // lint: publishes
     epoch: AtomicU64,
     serving: Option<ServingHandles>,
     /// When set, epoch-swap invalidation is scoped to this lineage:
@@ -136,7 +141,7 @@ impl LiveContext {
         // One publish at a time: join the previous warm pass, swap,
         // then start (or run) this epoch's warm pass, so warm and
         // invalidation traffic hits the cache in epoch order.
-        let _serialised = self.publish_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let _serialised = self.publish_lock.lock();
         self.join_warm();
         let previous = {
             let mut guard = self.current.write();
@@ -150,8 +155,7 @@ impl LiveContext {
         let task =
             move || warm_and_invalidate(&serving, &previous, &next, extension.as_deref(), lineage);
         if self.background_warm {
-            *self.warm_worker.lock().unwrap_or_else(|e| e.into_inner()) =
-                Some(std::thread::spawn(task));
+            *self.warm_worker.lock() = Some(sched::thread::spawn(task));
         } else {
             task();
         }
@@ -165,13 +169,13 @@ impl LiveContext {
     }
 
     fn join_warm(&self) {
-        let handle = self
-            .warm_worker
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .take();
+        let handle = self.warm_worker.lock().take();
         if let Some(handle) = handle {
-            handle.join().expect("warm worker panicked");
+            if let Err(panic) = handle.join() {
+                // Surface the warm thread's own panic instead of
+                // minting a second, less informative one here.
+                std::panic::resume_unwind(panic);
+            }
         }
     }
 }

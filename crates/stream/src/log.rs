@@ -1,6 +1,8 @@
 //! The bounded, multi-producer log feeding stream consumers.
 //!
-//! A classic bounded MPSC queue built on `std::sync::{Mutex, Condvar}`:
+//! A classic bounded MPSC queue built on `sched::sync::{Mutex, Condvar}`
+//! (plain `std` primitives normally; deterministic scheduling points
+//! under the `cfg(evorec_sched)` race harness — see `crates/shims/sched`):
 //! producers [`push`](BoundedLog::push) and *block* when the log is full
 //! (backpressure — a slow consumer throttles its sources instead of the
 //! log growing without bound), the consumer drains micro-batches with
@@ -12,8 +14,8 @@
 //! reuses the same [`BoundedLog`] for its curator-feedback stream.
 
 use crate::event::ChangeEvent;
+use sched::sync::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 
 /// Error returned by [`BoundedLog::push`] on a closed log; carries the
 /// rejected payload back to the producer.
@@ -61,6 +63,8 @@ pub struct LogStats {
     pub high_water: usize,
     /// Times a producer blocked on a full log (backpressure events).
     pub producer_waits: u64,
+    /// Times the consumer blocked on an empty log.
+    pub consumer_waits: u64,
 }
 
 struct LogState<T> {
@@ -96,8 +100,8 @@ impl<T> BoundedLog<T> {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, LogState<T>> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock(&self) -> MutexGuard<'_, LogState<T>> {
+        self.state.lock()
     }
 
     /// Append an entry, blocking while the log is full (backpressure).
@@ -106,10 +110,7 @@ impl<T> BoundedLog<T> {
         let mut state = self.lock();
         while state.queue.len() >= self.capacity && !state.closed {
             state.stats.producer_waits += 1;
-            state = self
-                .not_full
-                .wait(state)
-                .unwrap_or_else(|e| e.into_inner());
+            state = self.not_full.wait(state);
         }
         if state.closed {
             return Err(LogClosed(event));
@@ -147,10 +148,8 @@ impl<T> BoundedLog<T> {
         let max = max.max(1);
         let mut state = self.lock();
         while state.queue.is_empty() && !state.closed {
-            state = self
-                .not_empty
-                .wait(state)
-                .unwrap_or_else(|e| e.into_inner());
+            state.stats.consumer_waits += 1;
+            state = self.not_empty.wait(state);
         }
         let take = state.queue.len().min(max);
         let batch: Vec<T> = state.queue.drain(..take).collect();
@@ -304,8 +303,12 @@ mod tests {
             let log = Arc::clone(&log);
             std::thread::spawn(move || log.push(ev(1)))
         };
-        // Let it block, then close without draining.
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Wait until the producer is observably blocked (no sleeps —
+        // the stats counter ticks before the condvar wait), then close
+        // without draining.
+        while log.stats().producer_waits == 0 {
+            std::thread::yield_now();
+        }
         log.close();
         let result = producer.join().unwrap();
         assert!(result.is_err(), "push on closed log fails");
@@ -319,7 +322,10 @@ mod tests {
             let log = Arc::clone(&log);
             std::thread::spawn(move || log.pop_batch(4))
         };
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Wait until the consumer is observably parked, then close.
+        while log.stats().consumer_waits == 0 {
+            std::thread::yield_now();
+        }
         log.close();
         assert!(consumer.join().unwrap().is_empty());
     }

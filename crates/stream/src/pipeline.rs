@@ -82,13 +82,15 @@ impl StreamPipeline {
     /// Panics if the ingestor's history is empty, or if
     /// `options.origin` names an unknown version.
     pub fn spawn(ingestor: Ingestor, options: PipelineOptions) -> StreamPipeline {
-        let head = ingestor
-            .head()
-            .expect("pipeline needs a seeded history for its initial context");
+        // An empty history leaves `head` pointing at version 0, which
+        // the seeding assertion below rejects — same documented panic,
+        // one diagnostic site.
+        let head = ingestor.head().unwrap_or(VersionId::from_u32(0));
         let origin = options.origin.unwrap_or(head);
         assert!(
             ingestor.store().try_snapshot(origin).is_some(),
-            "origin {origin} is not a committed version"
+            "origin {origin} is not a committed version — seed the ingestor's \
+             history before spawning the pipeline"
         );
         let max_batch = ingestor.config().max_batch.max(1);
         let capacity = if options.channel_capacity == 0 {
@@ -112,7 +114,7 @@ impl StreamPipeline {
             let live = Arc::clone(&live);
             let sinks = options.sinks;
             std::thread::spawn(move || {
-                ingest_loop(ingestor, &log, &live, origin, max_batch, &sinks)
+                ingest_loop(ingestor, &log, &live, origin, head, max_batch, &sinks)
             })
         };
         StreamPipeline {
@@ -142,8 +144,15 @@ impl StreamPipeline {
     /// the worker, and hand back the ingestor (history + ledger).
     pub fn shutdown(mut self) -> Ingestor {
         self.log.close();
-        let worker = self.worker.take().expect("worker present until shutdown");
-        let ingestor = worker.join().expect("ingest worker panicked");
+        let ingestor = match self.worker.take() {
+            Some(worker) => match worker.join() {
+                Ok(ingestor) => ingestor,
+                Err(panic) => std::panic::resume_unwind(panic),
+            },
+            // The handle is vacated only here and in `Drop`, and
+            // `shutdown` consumes the pipeline before `Drop` can run.
+            None => unreachable!("shutdown runs at most once per pipeline"),
+        };
         self.live.wait_for_warm();
         ingestor
     }
@@ -165,6 +174,7 @@ fn ingest_loop(
     log: &EventLog,
     live: &LiveContext,
     origin: VersionId,
+    head: VersionId,
     max_batch: usize,
     sinks: &[Arc<dyn EpochSink>],
 ) -> Ingestor {
@@ -173,7 +183,7 @@ fn ingest_loop(
     // re-diffs the origin and head snapshots (the same delta algebra
     // serving windows ride). The spawn-time context build memoised the
     // initial span's delta, so this clone hits the store's cache.
-    let mut composed = (*ingestor.store().delta(origin, ingestor.head().expect("seeded"))).clone();
+    let mut composed = (*ingestor.store().delta(origin, head)).clone();
     loop {
         let batch = log.pop_batch(max_batch);
         let drained = batch.is_empty();

@@ -1,0 +1,95 @@
+//! Interleaving models of [`BoundedLog`]: under `--cfg evorec_sched`
+//! the `sched` harness exhaustively enumerates bounded thread
+//! schedules, proving the close/push/pop races have no losing
+//! interleaving; under the default build the same closures run once as
+//! plain concurrency smoke tests.
+
+use evorec_stream::BoundedLog;
+use std::sync::Arc;
+
+/// A push racing a close either lands (and is drainable after the
+/// close) or fails cleanly (and leaves nothing behind) — an accepted
+/// event is never lost, in every interleaving.
+#[test]
+fn close_vs_push_never_loses_an_accepted_event() {
+    let report = sched::model(|| {
+        let log = Arc::new(BoundedLog::<u32>::bounded(1));
+        let producer = {
+            let log = Arc::clone(&log);
+            sched::thread::spawn(move || log.push(7).is_ok())
+        };
+        let closer = {
+            let log = Arc::clone(&log);
+            sched::thread::spawn(move || log.close())
+        };
+        let accepted = producer.join().unwrap();
+        closer.join().unwrap();
+        let drained = log.pop_batch(4);
+        if accepted {
+            assert_eq!(drained, vec![7], "accepted push must be drainable");
+            assert_eq!(log.stats().enqueued, 1);
+        } else {
+            assert!(drained.is_empty(), "rejected push must leave nothing");
+            assert_eq!(log.stats().enqueued, 0);
+        }
+        assert!(log.pop_batch(4).is_empty(), "closed + drained = empty");
+    });
+    assert!(report.schedules >= 1);
+    if cfg!(evorec_sched) {
+        assert!(report.schedules > 1, "the race has multiple interleavings");
+    }
+}
+
+/// A producer blocked by backpressure (full log) is woken by `close`
+/// and fails cleanly in every interleaving — close-then-push and
+/// push-wait-then-close both end with the push rejected and the queued
+/// event intact.
+#[test]
+fn close_always_unblocks_a_backpressured_push() {
+    let report = sched::model(|| {
+        let log = Arc::new(BoundedLog::<u32>::bounded(1));
+        log.push(1).unwrap();
+        let producer = {
+            let log = Arc::clone(&log);
+            sched::thread::spawn(move || log.push(2))
+        };
+        let closer = {
+            let log = Arc::clone(&log);
+            sched::thread::spawn(move || log.close())
+        };
+        let result = producer.join().unwrap();
+        closer.join().unwrap();
+        assert!(result.is_err(), "push on a closing full log must fail");
+        assert_eq!(log.pop_batch(4), vec![1], "first event survives");
+    });
+    assert!(report.schedules >= 1);
+    if cfg!(evorec_sched) {
+        assert!(report.schedules > 1);
+    }
+}
+
+/// The producer→consumer condvar handshake has no lost-wakeup
+/// interleaving: a consumer blocked on an empty log always receives
+/// the pushed event, whichever thread wins the initial race.
+#[test]
+fn consumer_wakeup_is_never_lost() {
+    let report = sched::model(|| {
+        let log = Arc::new(BoundedLog::<u32>::bounded(2));
+        let consumer = {
+            let log = Arc::clone(&log);
+            sched::thread::spawn(move || log.pop_batch(2))
+        };
+        let producer = {
+            let log = Arc::clone(&log);
+            sched::thread::spawn(move || log.push(9).unwrap())
+        };
+        producer.join().unwrap();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, vec![9], "blocked consumer always gets the event");
+        assert_eq!(log.stats().dequeued, 1);
+    });
+    assert!(report.schedules >= 1);
+    if cfg!(evorec_sched) {
+        assert!(report.schedules > 1);
+    }
+}

@@ -122,13 +122,17 @@ impl WindowManager {
         defs: Vec<WindowDef>,
         options: WindowManagerOptions,
     ) -> WindowManager {
+        // An empty history leaves `head` at version 0, which the
+        // seeding assertion below rejects — same documented panic, one
+        // diagnostic site.
         let head = options
             .head
             .or_else(|| store.head())
-            .expect("window manager needs a seeded history");
+            .unwrap_or(VersionId::from_u32(0));
         assert!(
             store.try_snapshot(head).is_some(),
-            "head {head} is not a committed version"
+            "head {head} is not a committed version — seed the history \
+             before attaching a window manager"
         );
         assert!(
             store.try_snapshot(origin).is_some(),
@@ -292,10 +296,12 @@ impl WindowManager {
     /// last observed (epochs must arrive gap-free, in commit order,
     /// starting right after the history the manager was built over).
     pub fn advance(&self, store: &VersionedStore, commit: &EpochCommit) {
-        let epoch_from = commit
-            .version
-            .predecessor()
-            .expect("epochs extend a seeded history");
+        assert!(
+            commit.version.as_u32() > 0,
+            "epoch commit {} does not extend a seeded history",
+            commit.version
+        );
+        let epoch_from = VersionId::from_u32(commit.version.as_u32() - 1);
         let timestamp = store.versions()[commit.version.index()].timestamp;
         self.epochs.fetch_add(1, Ordering::Relaxed);
         let mut guard = self.state.lock();
@@ -313,14 +319,16 @@ impl WindowManager {
             timestamp,
         });
         for (window, state) in self.windows.iter().zip(windows.iter_mut()) {
-            let origin_moved = self.advance_window(window, state, ring, store, commit, timestamp);
-            self.publish_window(window, state, store, commit, origin_moved);
+            let origin_moved =
+                self.advance_window(window, state, ring, store, commit, epoch_from, timestamp);
+            self.publish_window(window, state, store, commit, epoch_from, origin_moved);
         }
     }
 
     /// Move one window's bounds and composed delta for the new epoch.
     /// Returns whether the window's `from` bound moved (which disables
     /// the incremental measure hooks for this publish).
+    #[allow(clippy::too_many_arguments)] // internal epoch-step plumbing
     fn advance_window(
         &self,
         window: &Window,
@@ -328,6 +336,7 @@ impl WindowManager {
         ring: &EpochRing,
         store: &VersionedStore,
         commit: &EpochCommit,
+        epoch_from: VersionId,
         timestamp: u64,
     ) -> bool {
         let old_from = state.from;
@@ -338,10 +347,7 @@ impl WindowManager {
                 state.epochs += 1;
             }
             WindowSpec::LastEpoch => {
-                state.from = commit
-                    .version
-                    .predecessor()
-                    .expect("epochs extend a seeded history");
+                state.from = epoch_from;
                 state.composed = (*commit.delta).clone();
                 state.epochs = 1;
             }
@@ -417,13 +423,12 @@ impl WindowManager {
         state: &WindowState,
         store: &VersionedStore,
         commit: &EpochCommit,
+        epoch_from: VersionId,
         origin_moved: bool,
     ) {
         let delta = if state.from == state.to {
             Arc::new(LowLevelDelta::new())
-        } else if state.from == commit.version.predecessor().expect("seeded history")
-            && state.to == commit.version
-        {
+        } else if state.from == epoch_from && state.to == commit.version {
             // The window is exactly the new epoch: reuse its delta
             // (already normalised, already in the store's cache).
             Arc::clone(&commit.delta)

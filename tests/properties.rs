@@ -208,7 +208,7 @@ proptest! {
         if (lambda - 1.0).abs() < 1e-12 {
             // Pure relevance: picks are a top-k of the relevance vector.
             let mut by_rel: Vec<usize> = (0..relevance.len()).collect();
-            by_rel.sort_by(|&a, &b| relevance[b].partial_cmp(&relevance[a]).unwrap().then(a.cmp(&b)));
+            by_rel.sort_by(|&a, &b| relevance[b].total_cmp(&relevance[a]).then(a.cmp(&b)));
             let expect: std::collections::HashSet<usize> =
                 by_rel[..expected_len].iter().copied().collect();
             let got: std::collections::HashSet<usize> =

@@ -44,6 +44,13 @@ impl Allowlist {
     /// malformed entries, missing reasons, or entries for rules in
     /// [`NEVER_ALLOWLIST`].
     pub fn parse(text: &str) -> Result<Allowlist, String> {
+        Self::parse_with_policy(text, &NEVER_ALLOWLIST)
+    }
+
+    /// [`parse`](Allowlist::parse) with an explicit never-allowlist
+    /// policy — `evorec-lint` and `evorec-audit` forbid different
+    /// rule sets but share everything else about the format.
+    pub fn parse_with_policy(text: &str, never: &[&str]) -> Result<Allowlist, String> {
         let mut entries = Vec::new();
         for (n, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -66,7 +73,7 @@ impl Allowlist {
                     n + 1
                 ));
             }
-            if NEVER_ALLOWLIST.contains(&rule) {
+            if never.contains(&rule) {
                 return Err(format!(
                     "allowlist line {}: rule `{rule}` must never be allowlisted — fix the code",
                     n + 1

@@ -1,0 +1,301 @@
+//! The `evorec-audit` pipeline: tokenize → parse → symbol table →
+//! call-graph facts → the three analysis passes (determinism taint,
+//! panic reachability, lock-order inference), merged into one
+//! deterministic finding list.
+//!
+//! Where `evorec-lint` (PR 6) is token-local — it sees one file, one
+//! line at a time — the audit is *workspace-global*: taint flows and
+//! panic chains cross crate boundaries through the call graph. Both
+//! tools share the allowlist machinery; the audit has its own
+//! never-allowlist policy (`taint-into-fingerprint` can never be
+//! suppressed — a nondeterministic fingerprint silently poisons every
+//! replay comparison downstream).
+//!
+//! Severity model: `deny` findings fail the build, `warn` findings are
+//! reported for review (`panic-reachable-indexing` and
+//! `lock-annotation-unused` — both dominated by sanctioned idioms a
+//! static view cannot fully discharge).
+
+use crate::allowlist::{Allowlist, Entry};
+use crate::callgraph::collect_facts;
+use crate::parser::{parse_file, ParsedFile};
+use crate::symbols::Symbols;
+use crate::tokenizer::{tokenize, Token};
+use crate::{locks, panics, taint};
+use std::fs;
+use std::path::Path;
+
+/// Audit rules for which allowlisting is forbidden by policy: a
+/// nondeterministic fingerprint invalidates bit-identical replay at
+/// the root, so it is fixed at source, never acknowledged.
+pub const NEVER_ALLOWLIST: [&str; 1] = ["taint-into-fingerprint"];
+
+/// Whether a finding fails the build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the audit (exit 1) unless allowlisted.
+    Deny,
+    /// Reported for review; never fails the audit.
+    Warn,
+}
+
+impl Severity {
+    /// Lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One audit finding, with the evidence chain that produced it.
+#[derive(Clone, Debug)]
+pub struct AuditFinding {
+    /// Rule id (`taint-into-*`, `panic-reachable*`, `lock-order-*`).
+    pub rule: &'static str,
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line of the sink / panic site / acquisition.
+    pub line: u32,
+    /// One-line description.
+    pub message: String,
+    /// Source → call-chain → sink evidence, one hop per element.
+    pub chain: Vec<String>,
+    /// Whether this finding fails the build.
+    pub severity: Severity,
+}
+
+/// One workspace source file, ready to audit.
+pub struct SourceFile {
+    /// Repo-relative label (forward slashes).
+    pub label: String,
+    /// Owning crate name (directory under `crates/`).
+    pub crate_name: String,
+    /// File contents.
+    pub source: String,
+}
+
+/// Directories the audit never descends into. `shims` is vendored
+/// third-party API surface, not workspace logic; `tests`/`benches`/
+/// `examples` are all-test code where panics and ad-hoc iteration are
+/// sanctioned.
+const SKIP_DIRS: [&str; 8] = [
+    "target", ".git", ".github", ".claude", "shims", "tests", "benches", "examples",
+];
+
+/// Collect every auditable `.rs` file under `root`, sorted by label.
+pub fn collect_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort_by(|a, b| a.label.cmp(&b.label));
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut entries: Vec<_> = entries
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let label = relative_label(root, &path);
+            let source =
+                fs::read_to_string(&path).map_err(|e| format!("reading {label}: {e}"))?;
+            out.push(SourceFile {
+                crate_name: crate_of(&label),
+                label,
+                source,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Repo-relative path with forward slashes.
+pub fn relative_label(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The crate a repo-relative label belongs to (`crates/<name>/...`).
+fn crate_of(label: &str) -> String {
+    let mut parts = label.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        _ => "workspace".to_string(),
+    }
+}
+
+/// Run the full audit pipeline over in-memory sources.
+pub fn audit_sources(files: &[SourceFile]) -> Vec<AuditFinding> {
+    let tokens: Vec<Vec<Token>> = files.iter().map(|f| tokenize(&f.source)).collect();
+    let parsed: Vec<ParsedFile> = files
+        .iter()
+        .zip(&tokens)
+        .map(|(f, t)| parse_file(&f.label, &f.crate_name, t))
+        .collect();
+    let sym = Symbols::build(&parsed);
+    let facts = collect_facts(&sym);
+    let mut findings = taint::run(&sym);
+    findings.extend(panics::run(&sym, &facts));
+    findings.extend(locks::run(&sym, &facts, &tokens));
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    findings
+}
+
+/// The audit result after allowlist application.
+pub struct AuditOutcome {
+    /// Findings not covered by the allowlist.
+    pub findings: Vec<AuditFinding>,
+    /// `(finding, reason)` pairs the allowlist acknowledged.
+    pub allowlisted: Vec<(AuditFinding, String)>,
+    /// Allowlist entries that matched nothing (these fail the audit:
+    /// either the finding moved or the entry is dead weight).
+    pub stale: Vec<Entry>,
+}
+
+impl AuditOutcome {
+    /// `true` when the audit should fail the build.
+    pub fn failed(&self) -> bool {
+        !self.stale.is_empty()
+            || self
+                .findings
+                .iter()
+                .any(|f| f.severity == Severity::Deny)
+    }
+}
+
+/// Split findings into reported / acknowledged, and detect stale
+/// allowlist entries.
+pub fn apply_allowlist(findings: Vec<AuditFinding>, allow: &Allowlist) -> AuditOutcome {
+    let mut used = vec![false; allow.entries.len()];
+    let mut out = AuditOutcome {
+        findings: Vec::new(),
+        allowlisted: Vec::new(),
+        stale: Vec::new(),
+    };
+    for f in findings {
+        match allow.lookup(f.rule, &f.path, f.line) {
+            Some(ix) => {
+                used[ix] = true;
+                let reason = allow.entries[ix].reason.clone();
+                out.allowlisted.push((f, reason));
+            }
+            None => out.findings.push(f),
+        }
+    }
+    for (ix, entry) in allow.entries.iter().enumerate() {
+        if !used[ix] {
+            out.stale.push(entry.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(label: &str, source: &str) -> SourceFile {
+        SourceFile {
+            label: label.to_string(),
+            crate_name: crate_of(label),
+            source: source.to_string(),
+        }
+    }
+
+    #[test]
+    fn pipeline_finds_cross_file_taint() {
+        // The unordered iteration lives in one file, the fingerprint
+        // sink in another: only a workspace-global view connects them.
+        let files = [
+            src(
+                "crates/core/src/a.rs",
+                "pub struct Weights { pub map: FxHashMap<u32, f64> }\n\
+                 impl Weights {\n\
+                     pub fn mass(&self) -> f64 {\n\
+                         let mut total = 0.0;\n\
+                         for (_k, v) in self.map.iter() { total += v; }\n\
+                         total\n\
+                     }\n\
+                 }",
+            ),
+            src(
+                "crates/core/src/b.rs",
+                "pub fn fingerprint(w: &Weights, h: &mut Hasher) {\n\
+                     digest_step(h, w.mass());\n\
+                 }",
+            ),
+        ];
+        let findings = audit_sources(&files);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "taint-into-fingerprint" && f.path == "crates/core/src/b.rs"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn allowlist_acknowledges_and_detects_stale() {
+        let f = AuditFinding {
+            rule: "panic-reachable",
+            path: "crates/x/src/a.rs".to_string(),
+            line: 7,
+            message: "m".to_string(),
+            chain: Vec::new(),
+            severity: Severity::Deny,
+        };
+        let allow = Allowlist::parse_with_policy(
+            "panic-reachable crates/x/src/a.rs 7 guarded by construction\n\
+             panic-reachable crates/x/src/a.rs 99 stale entry",
+            &NEVER_ALLOWLIST,
+        )
+        .expect("valid allowlist");
+        let outcome = apply_allowlist(vec![f], &allow);
+        assert!(outcome.findings.is_empty());
+        assert_eq!(outcome.allowlisted.len(), 1);
+        assert_eq!(outcome.stale.len(), 1);
+        assert!(outcome.failed(), "stale entries fail the audit");
+    }
+
+    #[test]
+    fn fingerprint_taint_is_never_allowlistable() {
+        let err = Allowlist::parse_with_policy(
+            "taint-into-fingerprint crates/x/src/a.rs 3 we promise it is fine",
+            &NEVER_ALLOWLIST,
+        )
+        .expect_err("must be rejected");
+        assert!(err.contains("never be allowlisted"), "{err}");
+    }
+
+    #[test]
+    fn warn_findings_do_not_fail() {
+        let f = AuditFinding {
+            rule: "panic-reachable-indexing",
+            path: "crates/x/src/a.rs".to_string(),
+            line: 3,
+            message: "m".to_string(),
+            chain: Vec::new(),
+            severity: Severity::Warn,
+        };
+        let outcome = apply_allowlist(vec![f], &Allowlist::default());
+        assert!(!outcome.failed());
+        assert_eq!(outcome.findings.len(), 1);
+    }
+}

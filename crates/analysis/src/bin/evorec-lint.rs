@@ -2,13 +2,16 @@
 //! invariants (see `evorec_analysis::rules` for the rule table).
 //!
 //! ```text
-//! cargo run -p evorec-analysis --bin evorec-lint [-- --root <dir>] [--allowlist <file>]
+//! cargo run -p evorec-analysis --bin evorec-lint [-- --root <dir>] [--allowlist <file>] [--json]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings (or stale/invalid allowlist
 //! entries), `2` usage or I/O error. Diagnostics are
-//! `path:line:col: [rule] message`, one per line, ready for editors.
+//! `path:line:col: [rule] message`, one per line, ready for editors;
+//! `--json` emits one machine-readable document instead (same shape
+//! as `evorec-audit --json`, for the merged CI findings artifact).
 
+use evorec_analysis::json::{self, Obj};
 use evorec_analysis::rules::{lint_source, FileClass};
 use evorec_analysis::Allowlist;
 use std::path::{Path, PathBuf};
@@ -26,6 +29,7 @@ fn main() {
 fn run() -> i32 {
     let mut root = PathBuf::from(".");
     let mut allowlist_path: Option<PathBuf> = None;
+    let mut as_json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,9 +41,10 @@ fn run() -> i32 {
                 Some(f) => allowlist_path = Some(PathBuf::from(f)),
                 None => return usage("--allowlist needs a file"),
             },
+            "--json" => as_json = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "evorec-lint [--root <dir>] [--allowlist <file>]\n\
+                    "evorec-lint [--root <dir>] [--allowlist <file>] [--json]\n\
                      Lints workspace sources against the project invariants; \
                      default allowlist is <root>/lint-allow.txt."
                 );
@@ -64,6 +69,7 @@ fn run() -> i32 {
     collect_rust_files(&root, &mut files);
     files.sort();
 
+    let mut shown: Vec<String> = Vec::new();
     let mut findings_shown = 0usize;
     let mut used_entries = vec![false; allowlist.entries.len()];
     for file in &files {
@@ -77,27 +83,62 @@ fn run() -> i32 {
                 used_entries[idx] = true;
                 continue;
             }
-            println!(
-                "{rel}:{}:{}: [{}] {}",
-                finding.line, finding.col, finding.rule, finding.message
-            );
+            if as_json {
+                shown.push(
+                    Obj::new()
+                        .str("rule", finding.rule)
+                        .str("path", &rel)
+                        .num("line", u64::from(finding.line))
+                        .num("col", u64::from(finding.col))
+                        .str("severity", "deny")
+                        .str("message", &finding.message)
+                        .finish(),
+                );
+            } else {
+                println!(
+                    "{rel}:{}:{}: [{}] {}",
+                    finding.line, finding.col, finding.rule, finding.message
+                );
+            }
             findings_shown += 1;
         }
     }
 
+    let mut stale_entries: Vec<String> = Vec::new();
     let mut stale = 0usize;
     for (idx, used) in used_entries.iter().enumerate() {
         if !used {
             let e = &allowlist.entries[idx];
-            println!(
-                "{}: stale allowlist entry: [{}] {}:{} no longer fires — remove it",
-                allowlist_path.display(),
-                e.rule,
-                e.path,
-                e.line
-            );
+            if as_json {
+                stale_entries.push(
+                    Obj::new()
+                        .str("rule", &e.rule)
+                        .str("path", &e.path)
+                        .num("line", u64::from(e.line))
+                        .finish(),
+                );
+            } else {
+                println!(
+                    "{}: stale allowlist entry: [{}] {}:{} no longer fires — remove it",
+                    allowlist_path.display(),
+                    e.rule,
+                    e.path,
+                    e.line
+                );
+            }
             stale += 1;
         }
+    }
+
+    if as_json {
+        println!(
+            "{}",
+            Obj::new()
+                .str("tool", "evorec-lint")
+                .raw("findings", &json::array(&shown))
+                .raw("stale", &json::array(&stale_entries))
+                .finish()
+        );
     }
 
     if findings_shown + stale > 0 {

@@ -1,0 +1,816 @@
+//! Expression type inference, per-function call facts, and the
+//! cross-crate call graph.
+//!
+//! [`infer_expr`] walks an expression under a lexical [`TypeEnv`],
+//! resolving locals, struct fields, workspace method returns, and a
+//! table of std container/iterator methods. [`collect_facts`] uses it
+//! to resolve every call site in every function body into graph edges,
+//! recording panic sites along the way. [`shortest_chains`] runs BFS
+//! over the edges for the panic-reachability pass.
+
+use crate::parser::{Block, Expr, Stmt};
+use crate::symbols::Symbols;
+use crate::ty::Ty;
+use std::collections::{HashMap, VecDeque};
+
+/// Lexically scoped variable types within one function body.
+#[derive(Default)]
+pub struct TypeEnv {
+    scopes: Vec<HashMap<String, Ty>>,
+}
+
+impl TypeEnv {
+    /// Fresh environment with one root scope.
+    pub fn new() -> TypeEnv {
+        TypeEnv {
+            scopes: vec![HashMap::new()],
+        }
+    }
+
+    /// Enter a nested scope.
+    pub fn push(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    /// Leave the innermost scope.
+    pub fn pop(&mut self) {
+        self.scopes.pop();
+    }
+
+    /// Bind `name` in the innermost scope.
+    pub fn bind(&mut self, name: &str, ty: Ty) {
+        if let Some(top) = self.scopes.last_mut() {
+            top.insert(name.to_string(), ty);
+        }
+    }
+
+    /// Innermost binding of `name`.
+    pub fn lookup(&self, name: &str) -> Ty {
+        for scope in self.scopes.iter().rev() {
+            if let Some(ty) = scope.get(name) {
+                return ty.clone();
+            }
+        }
+        Ty::Unknown
+    }
+}
+
+/// Infer the type of `expr`. `expected` is a contextual hint (the
+/// annotated let type or struct-field type) consumed by `collect`.
+pub fn infer_expr(sym: &Symbols, env: &TypeEnv, expr: &Expr, expected: Option<&Ty>) -> Ty {
+    match expr {
+        Expr::Path { segs, .. } => {
+            if segs.len() == 1 {
+                return env.lookup(&segs[0]);
+            }
+            Ty::Unknown
+        }
+        Expr::Lit { text, .. } => infer_lit(text),
+        Expr::Call { callee, args, .. } => {
+            if let Some(ix) = sym.resolve_call(callee) {
+                return sym.fns[ix].ret_ty.clone();
+            }
+            infer_builtin_call(sym, env, callee, args)
+        }
+        Expr::MethodCall {
+            recv,
+            method,
+            turbofish,
+            args,
+            ..
+        } => {
+            let recv_ty = infer_expr(sym, env, recv, None);
+            infer_method(
+                sym,
+                env,
+                &recv_ty,
+                method,
+                turbofish.as_deref(),
+                args,
+                expected,
+            )
+        }
+        Expr::Field { base, name, .. } => {
+            let base_ty = infer_expr(sym, env, base, None);
+            if let Ok(ix) = name.parse::<usize>() {
+                return base_ty.tuple_field(ix);
+            }
+            match base_ty.peeled().head() {
+                Some(head) => sym.field_ty(head, name),
+                None => Ty::Unknown,
+            }
+        }
+        Expr::Index { base, .. } => {
+            let base_ty = infer_expr(sym, env, base, None);
+            let peeled = base_ty.peeled();
+            match peeled.head() {
+                Some("FxHashMap") | Some("HashMap") | Some("BTreeMap") => peeled.arg1(),
+                _ => base_ty.element(),
+            }
+        }
+        Expr::StructLit { path, .. } => path.last().map_or(Ty::Unknown, |s| Ty::named(s)),
+        Expr::Cast { ty, .. } => Ty::parse(ty),
+        Expr::Unary { expr, .. } => infer_expr(sym, env, expr, expected),
+        Expr::Try { expr, .. } => infer_expr(sym, env, expr, None).arg0(),
+        Expr::Tuple { items, .. } => Ty::Tuple(
+            items
+                .iter()
+                .map(|e| infer_expr(sym, env, e, None))
+                .collect(),
+        ),
+        Expr::ArrayLit { items, .. } => {
+            let elem = items
+                .first()
+                .map_or(Ty::Unknown, |e| infer_expr(sym, env, e, None));
+            Ty::Named {
+                head: "Slice".to_string(),
+                args: vec![elem],
+            }
+        }
+        Expr::Binary { parts, ops, .. } => {
+            if ops.iter().any(|op| {
+                matches!(
+                    op.as_str(),
+                    "==" | "!=" | "<" | ">" | "<=" | ">=" | "&&" | "||"
+                )
+            }) {
+                return Ty::named("bool");
+            }
+            if ops.iter().any(|op| op == "..") {
+                return Ty::Unknown;
+            }
+            for p in parts {
+                let ty = infer_expr(sym, env, p, None);
+                if ty != Ty::Unknown {
+                    return ty;
+                }
+            }
+            Ty::Unknown
+        }
+        Expr::Block(block, _) => match block.stmts.last() {
+            Some(Stmt::Expr(e)) => infer_expr(sym, env, e, expected),
+            _ => Ty::Unknown,
+        },
+        Expr::If { then_branch, .. } => match then_branch.stmts.last() {
+            Some(Stmt::Expr(e)) => infer_expr(sym, env, e, expected),
+            _ => Ty::Unknown,
+        },
+        Expr::Match { arms, .. } => arms
+            .first()
+            .map_or(Ty::Unknown, |(_, body)| infer_expr(sym, env, body, expected)),
+        Expr::Macro { name, args, .. } => match name.as_str() {
+            "vec" => {
+                let elem = args
+                    .first()
+                    .map_or(Ty::Unknown, |e| infer_expr(sym, env, e, None));
+                Ty::Named {
+                    head: "Vec".to_string(),
+                    args: vec![elem],
+                }
+            }
+            "format" => Ty::named("String"),
+            _ => Ty::Unknown,
+        },
+        _ => Ty::Unknown,
+    }
+}
+
+fn infer_lit(text: &str) -> Ty {
+    if text == "true" || text == "false" {
+        return Ty::named("bool");
+    }
+    let is_num = text.starts_with(|c: char| c.is_ascii_digit());
+    if is_num {
+        if text.ends_with("f64") || text.ends_with("f32") {
+            return Ty::named("f64");
+        }
+        // Suffixed ints (`0u64`) and plain ints vs float literals.
+        for suffix in ["u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize"] {
+            if text.ends_with(suffix) {
+                return Ty::named("i64");
+            }
+        }
+        if text.contains('.') || text.contains('e') || text.contains('E') {
+            return Ty::named("f64");
+        }
+        return Ty::named("i64");
+    }
+    if text.starts_with('"') || text.starts_with("r\"") || text.starts_with("r#") {
+        return Ty::named("String");
+    }
+    Ty::Unknown
+}
+
+fn infer_builtin_call(sym: &Symbols, env: &TypeEnv, callee: &[String], args: &[Expr]) -> Ty {
+    let Some(last) = callee.last() else {
+        return Ty::Unknown;
+    };
+    match last.as_str() {
+        "Some" | "Ok" => {
+            let inner = args
+                .first()
+                .map_or(Ty::Unknown, |e| infer_expr(sym, env, e, None));
+            Ty::Named {
+                head: if last == "Some" { "Option" } else { "Result" }.to_string(),
+                args: vec![inner],
+            }
+        }
+        name => {
+            // `Type::ctor(..)` / tuple-struct `Type(..)`.
+            if callee.len() >= 2 {
+                let qualifier = &callee[callee.len() - 2];
+                if qualifier.chars().next().is_some_and(char::is_uppercase) {
+                    return Ty::named(qualifier);
+                }
+            }
+            if name.chars().next().is_some_and(char::is_uppercase) {
+                return Ty::named(name);
+            }
+            Ty::Unknown
+        }
+    }
+}
+
+/// Bind closure params to the (possibly destructured) element type.
+pub fn bind_closure_params(env: &mut TypeEnv, params: &[String], elem: &Ty) {
+    if params.len() == 1 {
+        env.bind(&params[0], elem.clone());
+        return;
+    }
+    for (ix, p) in params.iter().enumerate() {
+        env.bind(p, elem.tuple_field(ix));
+    }
+}
+
+/// Return type of a method call, workspace impls first, then the std
+/// container/iterator table.
+#[allow(clippy::too_many_arguments)]
+fn infer_method(
+    sym: &Symbols,
+    env: &TypeEnv,
+    recv_ty: &Ty,
+    method: &str,
+    turbofish: Option<&str>,
+    args: &[Expr],
+    expected: Option<&Ty>,
+) -> Ty {
+    if let Some(ix) = sym.resolve_method(recv_ty, method) {
+        let ret = sym.fns[ix].ret_ty.clone();
+        if ret != Ty::Unknown {
+            return ret;
+        }
+    }
+    let peeled = recv_ty.peeled();
+    match method {
+        "iter" | "iter_mut" | "into_iter" | "drain" => Ty::iterator_of(recv_ty.element()),
+        "keys" | "into_keys" => Ty::iterator_of(peeled.arg0()),
+        "values" | "values_mut" | "into_values" => Ty::iterator_of(peeled.arg1()),
+        "get" | "get_mut" => {
+            let inner = match peeled.head() {
+                Some("FxHashMap") | Some("HashMap") | Some("BTreeMap") => peeled.arg1(),
+                _ => recv_ty.element(),
+            };
+            Ty::Named {
+                head: "Option".to_string(),
+                args: vec![inner],
+            }
+        }
+        "first" | "last" | "pop" | "pop_front" | "pop_back" | "max" | "min" | "find"
+        | "max_by" | "min_by" | "max_by_key" | "min_by_key" => Ty::Named {
+            head: "Option".to_string(),
+            args: vec![recv_ty.element()],
+        },
+        "entry" => Ty::Named {
+            head: "Entry".to_string(),
+            args: vec![peeled.arg1()],
+        },
+        "or_insert" | "or_insert_with" | "or_default" => peeled.arg0(),
+        "unwrap" | "expect" | "unwrap_or" | "unwrap_or_else" | "unwrap_or_default" => {
+            peeled.arg0()
+        }
+        "ok" | "err" => Ty::Named {
+            head: "Option".to_string(),
+            args: vec![peeled.arg0()],
+        },
+        "take" => {
+            if peeled.head() == Some("Option") {
+                recv_ty.clone()
+            } else {
+                Ty::iterator_of(recv_ty.element())
+            }
+        }
+        "as_ref" | "as_mut" | "as_slice" | "as_str" | "borrow" | "borrow_mut" | "clone"
+        | "to_owned" | "by_ref" => recv_ty.clone(),
+        "to_vec" => Ty::Named {
+            head: "Vec".to_string(),
+            args: vec![recv_ty.element()],
+        },
+        "cloned" | "copied" | "rev" | "filter" | "skip" | "step_by" | "take_while"
+        | "skip_while" | "peekable" | "inspect" | "fuse" | "chain" => {
+            Ty::iterator_of(recv_ty.element())
+        }
+        "enumerate" => Ty::iterator_of(Ty::Tuple(vec![Ty::named("usize"), recv_ty.element()])),
+        "zip" => {
+            let other = args
+                .first()
+                .map_or(Ty::Unknown, |e| infer_expr(sym, env, e, None));
+            Ty::iterator_of(Ty::Tuple(vec![recv_ty.element(), other.element()]))
+        }
+        "map" | "filter_map" | "flat_map" => {
+            let body_ty = closure_body_ty(sym, env, args, &recv_ty.element());
+            match method {
+                "map" => Ty::iterator_of(body_ty),
+                "filter_map" => Ty::iterator_of(if body_ty.peeled().head() == Some("Option") {
+                    body_ty.arg0()
+                } else {
+                    body_ty
+                }),
+                _ => Ty::iterator_of(body_ty.element()),
+            }
+        }
+        "flatten" => Ty::iterator_of(recv_ty.element().element()),
+        "sum" | "product" => turbofish.map_or(Ty::Unknown, Ty::parse),
+        "fold" => args
+            .first()
+            .map_or(Ty::Unknown, |e| infer_expr(sym, env, e, None)),
+        "collect" => match turbofish {
+            Some(t) => Ty::parse(t),
+            None => expected.cloned().unwrap_or(Ty::Unknown),
+        },
+        "parse" => turbofish.map_or(Ty::Unknown, Ty::parse),
+        "len" | "count" | "capacity" => Ty::named("usize"),
+        "is_empty" | "contains" | "contains_key" | "any" | "all" | "starts_with"
+        | "ends_with" => Ty::named("bool"),
+        "lock" | "read" | "write" => {
+            if peeled.is_lock() {
+                peeled.arg0()
+            } else {
+                Ty::Unknown
+            }
+        }
+        "elapsed" => Ty::named("Duration"),
+        "as_secs_f64" | "abs" | "sqrt" | "ln" | "log2" | "exp" | "powi" | "powf" => {
+            Ty::named("f64")
+        }
+        "to_string" => Ty::named("String"),
+        "position" => Ty::named("Option"),
+        _ => Ty::Unknown,
+    }
+}
+
+fn closure_body_ty(sym: &Symbols, env: &TypeEnv, args: &[Expr], elem: &Ty) -> Ty {
+    let Some(Expr::Closure { params, body, .. }) = args.first() else {
+        return Ty::Unknown;
+    };
+    let mut inner = TypeEnv::new();
+    // Copy-free: nest a child env by cloning visible bindings lazily is
+    // overkill here — close over the outer env by rebuilding the scope
+    // chain. The walker passes a mutable env; this read-only path just
+    // needs param bindings layered over the outer lookups.
+    for scope in &env.scopes {
+        inner.scopes.push(scope.clone());
+    }
+    inner.push();
+    bind_closure_params(&mut inner, params, elem);
+    infer_expr(sym, &inner, body, None)
+}
+
+// ---- call facts ----------------------------------------------------------
+
+/// How a reachable site can panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Macro,
+    /// `.unwrap()` / `.expect(..)` and `_err` variants.
+    UnwrapExpect,
+    /// Slice/array/map indexing.
+    Indexing,
+}
+
+/// A potential panic site inside a function body.
+#[derive(Clone, Debug)]
+pub struct PanicSite {
+    /// 1-based line.
+    pub line: u32,
+    /// Site kind.
+    pub kind: PanicKind,
+    /// Short description (`unwrap`, `panic!`, `index`).
+    pub what: String,
+}
+
+/// One resolved call site.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Callee fn index.
+    pub callee: usize,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// Per-function facts: resolved calls and panic sites.
+#[derive(Default)]
+pub struct FnFacts {
+    /// Resolved workspace call sites.
+    pub calls: Vec<CallSite>,
+    /// Panic sites in this body.
+    pub panics: Vec<PanicSite>,
+}
+
+/// Collect call/panic facts for every function in the workspace.
+pub fn collect_facts(sym: &Symbols) -> Vec<FnFacts> {
+    let mut all = Vec::with_capacity(sym.fns.len());
+    for info in &sym.fns {
+        let mut facts = FnFacts::default();
+        if let Some(body) = &info.def.body {
+            let mut env = TypeEnv::new();
+            for (p, ty) in info.def.params.iter().zip(&info.param_tys) {
+                env.bind(&p.name, ty.clone());
+            }
+            walk_block(sym, &mut env, body, &mut facts);
+        }
+        all.push(facts);
+    }
+    all
+}
+
+fn walk_block(sym: &Symbols, env: &mut TypeEnv, block: &Block, out: &mut FnFacts) {
+    env.push();
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let {
+                names, ty, init, ..
+            } => {
+                let annotated = ty.as_deref().map(Ty::parse);
+                if let Some(init) = init {
+                    walk_expr(sym, env, init, out);
+                    let inferred = infer_expr(sym, env, init, annotated.as_ref());
+                    let bound = annotated.unwrap_or(inferred);
+                    bind_pattern(env, names, &bound);
+                } else if let Some(ty) = annotated {
+                    bind_pattern(env, names, &ty);
+                }
+            }
+            Stmt::Expr(e) => walk_expr(sym, env, e, out),
+            Stmt::Return(Some(e), _) => walk_expr(sym, env, e, out),
+            Stmt::Return(None, _) | Stmt::Item(_) => {}
+        }
+    }
+    env.pop();
+}
+
+/// Bind a (possibly destructuring) pattern against `ty`: one name gets
+/// the whole type, several get tuple fields positionally.
+fn bind_pattern(env: &mut TypeEnv, names: &[String], ty: &Ty) {
+    // `let Some(x) = ..` style: a single binding under an enum
+    // constructor sees the payload; approximate by unwrapping Option.
+    let ty = if ty.peeled().head() == Some("Option") {
+        ty.arg0()
+    } else {
+        ty.clone()
+    };
+    if names.len() == 1 {
+        env.bind(&names[0], ty);
+        return;
+    }
+    for (ix, name) in names.iter().enumerate() {
+        env.bind(name, ty.tuple_field(ix));
+    }
+}
+
+fn walk_expr(sym: &Symbols, env: &mut TypeEnv, expr: &Expr, out: &mut FnFacts) {
+    match expr {
+        Expr::Call { callee, args, line } => {
+            if let Some(ix) = sym.resolve_call(callee) {
+                out.calls.push(CallSite {
+                    callee: ix,
+                    line: *line,
+                });
+            }
+            for a in args {
+                walk_expr(sym, env, a, out);
+            }
+        }
+        Expr::MethodCall {
+            recv,
+            method,
+            args,
+            line,
+            ..
+        } => {
+            walk_expr(sym, env, recv, out);
+            let recv_ty = infer_expr(sym, env, recv, None);
+            if let Some(ix) = sym.resolve_method(&recv_ty, method) {
+                out.calls.push(CallSite {
+                    callee: ix,
+                    line: *line,
+                });
+            }
+            if matches!(
+                method.as_str(),
+                "unwrap" | "expect" | "unwrap_err" | "expect_err"
+            ) {
+                out.panics.push(PanicSite {
+                    line: *line,
+                    kind: PanicKind::UnwrapExpect,
+                    what: method.clone(),
+                });
+            }
+            let elem = recv_ty.element();
+            for a in args {
+                if let Expr::Closure { params, body, .. } = a {
+                    env.push();
+                    bind_closure_params(env, params, &elem);
+                    walk_expr(sym, env, body, out);
+                    env.pop();
+                } else {
+                    walk_expr(sym, env, a, out);
+                }
+            }
+        }
+        Expr::Macro { name, args, line } => {
+            if matches!(
+                name.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            ) {
+                out.panics.push(PanicSite {
+                    line: *line,
+                    kind: PanicKind::Macro,
+                    what: format!("{name}!"),
+                });
+            }
+            for a in args {
+                walk_expr(sym, env, a, out);
+            }
+        }
+        Expr::Index {
+            base, index, line, ..
+        } => {
+            walk_expr(sym, env, base, out);
+            walk_expr(sym, env, index, out);
+            // Literal indexes into tuples/arrays are overwhelmingly
+            // bounds-evident; only flag computed indexing.
+            if !matches!(index.as_ref(), Expr::Lit { .. }) {
+                out.panics.push(PanicSite {
+                    line: *line,
+                    kind: PanicKind::Indexing,
+                    what: "index".to_string(),
+                });
+            }
+        }
+        Expr::Field { base, .. } => walk_expr(sym, env, base, out),
+        Expr::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                walk_expr(sym, env, v, out);
+            }
+        }
+        Expr::Closure { body, params, .. } => {
+            env.push();
+            for p in params {
+                env.bind(p, Ty::Unknown);
+            }
+            walk_expr(sym, env, body, out);
+            env.pop();
+        }
+        Expr::For {
+            names, iter, body, ..
+        } => {
+            walk_expr(sym, env, iter, out);
+            let elem = infer_expr(sym, env, iter, None).element();
+            env.push();
+            bind_pattern(env, names, &elem);
+            walk_block(sym, env, body, out);
+            env.pop();
+        }
+        Expr::While {
+            cond, binds, body, ..
+        } => {
+            walk_expr(sym, env, cond, out);
+            env.push();
+            if !binds.is_empty() {
+                let ty = infer_expr(sym, env, cond, None);
+                bind_pattern(env, binds, &ty);
+            }
+            walk_block(sym, env, body, out);
+            env.pop();
+        }
+        Expr::Loop { body, .. } => walk_block(sym, env, body, out),
+        Expr::If {
+            cond,
+            binds,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            walk_expr(sym, env, cond, out);
+            env.push();
+            if !binds.is_empty() {
+                let ty = infer_expr(sym, env, cond, None);
+                bind_pattern(env, binds, &ty);
+            }
+            walk_block(sym, env, then_branch, out);
+            env.pop();
+            if let Some(e) = else_branch {
+                walk_expr(sym, env, e, out);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            walk_expr(sym, env, scrutinee, out);
+            let ty = infer_expr(sym, env, scrutinee, None);
+            for (binds, body) in arms {
+                env.push();
+                bind_pattern(env, binds, &ty);
+                walk_expr(sym, env, body, out);
+                env.pop();
+            }
+        }
+        Expr::Assign { target, value, .. } => {
+            walk_expr(sym, env, target, out);
+            walk_expr(sym, env, value, out);
+        }
+        Expr::Binary { parts, .. } => {
+            for p in parts {
+                walk_expr(sym, env, p, out);
+            }
+        }
+        Expr::Cast { expr, .. } | Expr::Unary { expr, .. } | Expr::Try { expr, .. } => {
+            walk_expr(sym, env, expr, out)
+        }
+        Expr::Tuple { items, .. } | Expr::ArrayLit { items, .. } => {
+            for e in items {
+                walk_expr(sym, env, e, out);
+            }
+        }
+        Expr::Block(block, _) => walk_block(sym, env, block, out),
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::Unknown(_) => {}
+    }
+}
+
+// ---- reachability --------------------------------------------------------
+
+/// One hop of a call chain, for diagnostics.
+#[derive(Clone, Debug)]
+pub struct Hop {
+    /// Caller fn index.
+    pub caller: usize,
+    /// Call line inside the caller.
+    pub line: u32,
+    /// Callee fn index.
+    pub callee: usize,
+}
+
+/// BFS from `roots` over `facts`, returning for each reachable fn the
+/// hop taken to first reach it (`None` for roots themselves).
+pub fn shortest_chains(
+    sym: &Symbols,
+    facts: &[FnFacts],
+    roots: &[usize],
+) -> HashMap<usize, Option<Hop>> {
+    let mut reached: HashMap<usize, Option<Hop>> = HashMap::new();
+    let mut queue = VecDeque::new();
+    for &r in roots {
+        if let std::collections::hash_map::Entry::Vacant(e) = reached.entry(r) {
+            e.insert(None);
+            queue.push_back(r);
+        }
+    }
+    while let Some(ix) = queue.pop_front() {
+        for call in &facts[ix].calls {
+            // Never descend into test fns: they are not serve paths.
+            if sym.fns[call.callee].is_test {
+                continue;
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = reached.entry(call.callee) {
+                e.insert(Some(Hop {
+                    caller: ix,
+                    line: call.line,
+                    callee: call.callee,
+                }));
+                queue.push_back(call.callee);
+            }
+        }
+    }
+    reached
+}
+
+/// Render the chain from a root to `target` as `a → b → c` hops.
+pub fn render_chain(
+    sym: &Symbols,
+    reached: &HashMap<usize, Option<Hop>>,
+    target: usize,
+) -> Vec<String> {
+    let mut hops = Vec::new();
+    let mut cur = target;
+    let mut guard = 0;
+    while let Some(Some(hop)) = reached.get(&cur) {
+        hops.push(format!(
+            "{} calls {} at {}:{}",
+            sym.fns[hop.caller].qual_name(),
+            sym.fns[hop.callee].qual_name(),
+            sym.files[sym.fns[hop.caller].file].path,
+            hop.line
+        ));
+        cur = hop.caller;
+        guard += 1;
+        if guard > 64 {
+            break;
+        }
+    }
+    hops.reverse();
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use crate::tokenizer::tokenize;
+
+    fn facts_for(src: &str) -> (Vec<crate::parser::ParsedFile>, Vec<FnFacts>) {
+        let files = vec![parse_file("t.rs", "t", &tokenize(src))];
+        // Symbols borrows files; rebuild facts in caller scope instead.
+        (files, Vec::new())
+    }
+
+    #[test]
+    fn resolves_method_chain_calls_and_panics() {
+        let (files, _) = facts_for(
+            "pub struct A { b: B }\n\
+             pub struct B { v: Vec<u32> }\n\
+             impl B { pub fn risky(&self) -> u32 { self.v[0] + self.v.first().unwrap() } }\n\
+             impl A { pub fn go(&self, i: usize) -> u32 { self.b.risky() + self.b.v[i] } }",
+        );
+        let sym = Symbols::build(&files);
+        let facts = collect_facts(&sym);
+        let go_ix = (0..sym.fns.len())
+            .find(|&i| sym.fns[i].def.name == "go")
+            .expect("go");
+        let risky_ix = (0..sym.fns.len())
+            .find(|&i| sym.fns[i].def.name == "risky")
+            .expect("risky");
+        assert!(facts[go_ix].calls.iter().any(|c| c.callee == risky_ix));
+        // risky: one unwrap, one literal index (not counted).
+        assert!(facts[risky_ix]
+            .panics
+            .iter()
+            .any(|p| p.kind == PanicKind::UnwrapExpect));
+        assert!(!facts[risky_ix]
+            .panics
+            .iter()
+            .any(|p| p.kind == PanicKind::Indexing));
+        // go: computed index `self.b.v[i]` is counted.
+        assert!(facts[go_ix]
+            .panics
+            .iter()
+            .any(|p| p.kind == PanicKind::Indexing));
+    }
+
+    #[test]
+    fn bfs_finds_shortest_chain() {
+        let (files, _) = facts_for(
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() { panic!(\"boom\"); }",
+        );
+        let sym = Symbols::build(&files);
+        let facts = collect_facts(&sym);
+        let ix = |name: &str| {
+            (0..sym.fns.len())
+                .find(|&i| sym.fns[i].def.name == name)
+                .expect("fn")
+        };
+        let reached = shortest_chains(&sym, &facts, &[ix("a")]);
+        assert!(reached.contains_key(&ix("c")));
+        let chain = render_chain(&sym, &reached, ix("c"));
+        assert_eq!(chain.len(), 2);
+        assert!(chain[0].contains("a calls b"));
+        assert!(chain[1].contains("b calls c"));
+    }
+
+    #[test]
+    fn infers_collect_with_expected_hint() {
+        let files = vec![parse_file(
+            "t.rs",
+            "t",
+            &tokenize(
+                "fn f(v: Vec<u32>) { let s: BTreeSet<u32> = v.into_iter().collect(); }",
+            ),
+        )];
+        let sym = Symbols::build(&files);
+        // The let-annotation drives the hint path inside walk_block;
+        // sanity-check infer_expr directly with the hint.
+        let env = TypeEnv::new();
+        let expected = Ty::parse("BTreeSet<u32>");
+        let body = sym.fns[0].def.body.as_ref().expect("body");
+        let Stmt::Let { init, .. } = &body.stmts[0] else {
+            panic!("let");
+        };
+        let got = infer_expr(
+            &sym,
+            &env,
+            init.as_ref().expect("init"),
+            Some(&expected),
+        );
+        assert!(got.is_ordered_collect_target());
+    }
+}

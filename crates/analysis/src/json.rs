@@ -1,0 +1,111 @@
+//! Minimal JSON emission for `--json` output.
+//!
+//! The workspace vendors no serde; the finding shapes are flat and
+//! fixed, so a string escaper plus a tiny object builder is the whole
+//! requirement. Output is deterministic: keys appear in insertion
+//! order and findings are pre-sorted by the callers.
+
+/// Escape a string for use inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An in-progress JSON object.
+#[derive(Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    /// Start an empty object.
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Obj {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Add a numeric field.
+    pub fn num(mut self, k: &str, v: u64) -> Obj {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a pre-rendered JSON value (object, array, ...).
+    pub fn raw(mut self, k: &str, v: &str) -> Obj {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Add an array-of-strings field.
+    pub fn str_array(self, k: &str, items: &[String]) -> Obj {
+        let rendered: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+        let arr = format!("[{}]", rendered.join(","));
+        self.raw(k, &arr)
+    }
+
+    /// Render the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Render a JSON array from pre-rendered element values.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn builds_nested_objects() {
+        let inner = Obj::new().str("rule", "x").num("line", 3).finish();
+        let outer = Obj::new()
+            .raw("findings", &array(&[inner]))
+            .str_array("chain", &["a \"quoted\" hop".to_string()])
+            .finish();
+        assert_eq!(
+            outer,
+            "{\"findings\":[{\"rule\":\"x\",\"line\":3}],\"chain\":[\"a \\\"quoted\\\" hop\"]}"
+        );
+    }
+}

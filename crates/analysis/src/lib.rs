@@ -1,13 +1,37 @@
 //! Static analysis for the evorec workspace: the `evorec-lint` rule
-//! engine.
+//! engine and the `evorec-audit` workspace-global analyses.
 //!
-//! See [`rules`] for the invariants enforced and [`tokenizer`] for the
-//! lightweight Rust lexer everything is built on (no external
-//! dependencies — the workspace builds fully offline).
+//! Two tools share this crate (and its dependency-free tokenizer — the
+//! workspace builds fully offline):
+//!
+//! * **`evorec-lint`** — token-local rules, one file at a time. See
+//!   [`rules`] for the invariants enforced.
+//! * **`evorec-audit`** — a tolerant [`parser`] over the same tokens,
+//!   a workspace [`symbols`] table, a cross-crate [`callgraph`], and
+//!   three global passes on top: determinism [`taint`] (unordered
+//!   iteration / clocks / RNG flowing into fingerprints, publishes,
+//!   codecs and reports), [`panics`] reachability from the public
+//!   serve surface, and [`locks`] order inference cross-checked
+//!   against the `// lint: lock-order` annotations. [`audit`] wires
+//!   the pipeline together.
+//!
+//! Both tools share the [`allowlist`] machinery (mandatory reasons,
+//! stale entries fail) and emit the same `--json` finding shape via
+//! [`json`].
 
 pub mod allowlist;
+pub mod audit;
+pub mod callgraph;
+pub mod json;
+pub mod locks;
+pub mod panics;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 pub mod tokenizer;
+pub mod ty;
 
 pub use allowlist::Allowlist;
+pub use audit::{AuditFinding, Severity};
 pub use rules::{lint_source, Finding};

@@ -1,0 +1,2239 @@
+//! A tolerant recursive-descent parser over [`crate::tokenizer`]
+//! output, producing the per-file item tree the audit passes walk.
+//!
+//! This is *not* a conforming Rust parser: it recovers the structure the
+//! analyses need — functions with parameter/return types, impl blocks,
+//! struct fields, use-trees, and expression shape (calls, method-call
+//! chains, field accesses, loops, closures, struct literals) — and
+//! degrades gracefully on everything else. Any construct it cannot
+//! classify becomes [`Expr::Unknown`] or [`Item::Other`]; the parser
+//! always makes progress (never loops) and never panics on malformed
+//! input. Degradation is deliberately conservative for the consumers:
+//! an unknown expression carries no taint, acquires no locks, and
+//! reaches no panics, so parser gaps make the audit *miss*, never
+//! *misfire*.
+
+use crate::tokenizer::{Token, TokenKind};
+
+/// One parsed source file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Repo-relative path label (forward slashes).
+    pub path: String,
+    /// Name of the owning crate (directory under `crates/`), or `""`.
+    pub crate_name: String,
+    /// Top-level items.
+    pub items: Vec<Item>,
+}
+
+/// A top-level or nested item.
+#[derive(Debug)]
+pub enum Item {
+    /// A free function.
+    Fn(FnDef),
+    /// A struct with named fields.
+    Struct(StructDef),
+    /// An `impl` block and its methods.
+    Impl(ImplDef),
+    /// An inline module.
+    Mod(ModDef),
+    /// A `use` declaration, flattened to full paths.
+    Use(UseDef),
+    /// Anything else (enum, trait, const, macro definition, ...).
+    Other,
+}
+
+/// A struct definition (named fields only; tuple structs keep indices
+/// as field names).
+#[derive(Debug)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// `(field name, type text)` pairs.
+    pub fields: Vec<(String, String)>,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+}
+
+/// An `impl` block.
+#[derive(Debug)]
+pub struct ImplDef {
+    /// The implementing type's head identifier (generics stripped).
+    pub type_name: String,
+    /// The implemented trait, if a trait impl.
+    pub trait_name: Option<String>,
+    /// Methods and associated functions.
+    pub fns: Vec<FnDef>,
+    /// `true` under `#[cfg(test)]`.
+    pub cfg_test: bool,
+}
+
+/// An inline `mod`.
+#[derive(Debug)]
+pub struct ModDef {
+    /// Module name.
+    pub name: String,
+    /// `true` under `#[cfg(test)]` (the conventional test module).
+    pub cfg_test: bool,
+    /// The module's items.
+    pub items: Vec<Item>,
+}
+
+/// A flattened `use` declaration.
+#[derive(Debug)]
+pub struct UseDef {
+    /// Every leaf path, `::`-joined (`std::time::SystemTime`).
+    pub paths: Vec<String>,
+}
+
+/// A function definition.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// Parameters in order (receiver included as `self`).
+    pub params: Vec<Param>,
+    /// Return type text, `None` for `()`.
+    pub ret_ty: Option<String>,
+    /// Body, `None` for trait/extern declarations.
+    pub body: Option<Block>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// `true` for `#[test]` functions or anything under `#[cfg(test)]`.
+    pub is_test: bool,
+}
+
+/// One function parameter.
+#[derive(Debug)]
+pub struct Param {
+    /// Binding name (`self` for receivers, `_` if unnamed).
+    pub name: String,
+    /// Declared type text (empty for bare `self` receivers).
+    pub ty: String,
+}
+
+/// A `{ ... }` block.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let <pat>[: ty] = init;` — `names` are the pattern's bindings.
+    Let {
+        /// Binding names introduced by the pattern.
+        names: Vec<String>,
+        /// Declared type text, if annotated.
+        ty: Option<String>,
+        /// Initialiser.
+        init: Option<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// An expression statement.
+    Expr(Expr),
+    /// A nested item (e.g. an inner `fn`).
+    Item(Box<Item>),
+    /// `return expr;`
+    Return(Option<Expr>, u32),
+}
+
+/// Expression shape — just enough structure for dataflow.
+#[derive(Debug)]
+pub enum Expr {
+    /// `a::b::c` (single identifiers are one-segment paths).
+    Path {
+        /// `::`-separated segments.
+        segs: Vec<String>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// A literal (number, string, char, bool).
+    Lit {
+        /// Verbatim token text.
+        text: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `path(args)`.
+    Call {
+        /// Callee path segments.
+        callee: Vec<String>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `recv.method::<T>(args)`.
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Turbofish text (without `::<>`), if present.
+        turbofish: Option<String>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `base.field` (tuple indices keep the number as the name).
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `base[index]`.
+    Index {
+        /// Indexed expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `Path { field: expr, .. }`.
+    StructLit {
+        /// Struct path segments.
+        path: Vec<String>,
+        /// `(field, value)` pairs (shorthand fields get a path value).
+        fields: Vec<(String, Expr)>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `|params| body` / `move |params| body`.
+    Closure {
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body expression.
+        body: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `for <pat> in iter { body }`.
+    For {
+        /// Pattern binding names.
+        names: Vec<String>,
+        /// Iterated expression.
+        iter: Box<Expr>,
+        /// Loop body.
+        body: Block,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `while cond { body }` / `while let pat = cond { body }`.
+    While {
+        /// Condition (the matched expression for `while let`).
+        cond: Box<Expr>,
+        /// `while let` pattern bindings.
+        binds: Vec<String>,
+        /// Loop body.
+        body: Block,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `loop { body }`.
+    Loop {
+        /// Loop body.
+        body: Block,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `if cond { .. } else ..` / `if let pat = cond { .. }`.
+    If {
+        /// Condition (the matched expression for `if let`).
+        cond: Box<Expr>,
+        /// `if let` pattern bindings.
+        binds: Vec<String>,
+        /// Then branch.
+        then_branch: Block,
+        /// Else branch (`Block` or chained `If`).
+        else_branch: Option<Box<Expr>>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `match scrutinee { arms }`.
+    Match {
+        /// Matched expression.
+        scrutinee: Box<Expr>,
+        /// `(pattern bindings, arm body)` per arm.
+        arms: Vec<(Vec<String>, Expr)>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `name!(args)` — args parsed best-effort as expressions.
+    Macro {
+        /// Macro name.
+        name: String,
+        /// Parsed arguments.
+        args: Vec<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `target = value` / `target += value` (op is the compound char).
+    Assign {
+        /// Assignment target.
+        target: Box<Expr>,
+        /// Compound operator (`+`, `^`, ...), `None` for plain `=`.
+        op: Option<String>,
+        /// Assigned value.
+        value: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// A flat binary-operator chain `a op b op c`.
+    Binary {
+        /// Operands in order.
+        parts: Vec<Expr>,
+        /// Operators between them (one fewer than parts).
+        ops: Vec<String>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `expr as Type`.
+    Cast {
+        /// Cast operand.
+        expr: Box<Expr>,
+        /// Target type text.
+        ty: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `&expr` / `&mut expr` / unary `*`, `-`, `!`.
+    Unary {
+        /// Operand.
+        expr: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `expr?`.
+    Try {
+        /// Operand.
+        expr: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `(a, b, ...)` — also used for parenthesised expressions.
+    Tuple {
+        /// Elements.
+        items: Vec<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `[a, b, ...]`.
+    ArrayLit {
+        /// Elements.
+        items: Vec<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// A block expression.
+    Block(Block, u32),
+    /// Anything the parser could not classify.
+    Unknown(u32),
+}
+
+impl Expr {
+    /// The expression's source line.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Path { line, .. }
+            | Expr::Lit { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::MethodCall { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::StructLit { line, .. }
+            | Expr::Closure { line, .. }
+            | Expr::For { line, .. }
+            | Expr::While { line, .. }
+            | Expr::Loop { line, .. }
+            | Expr::If { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::Macro { line, .. }
+            | Expr::Assign { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Cast { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Try { line, .. }
+            | Expr::Tuple { line, .. }
+            | Expr::ArrayLit { line, .. }
+            | Expr::Block(_, line)
+            | Expr::Unknown(line) => *line,
+        }
+    }
+}
+
+/// Parse `tokens` (comments are skipped internally) into an item tree.
+pub fn parse_file(path: &str, crate_name: &str, tokens: &[Token]) -> ParsedFile {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut p = Parser { toks: code, pos: 0 };
+    let items = p.parse_items(true);
+    ParsedFile {
+        path: path.to_string(),
+        crate_name: crate_name.to_string(),
+        items,
+    }
+}
+
+struct Parser<'a> {
+    toks: Vec<&'a Token>,
+    pos: usize,
+}
+
+/// Item attributes the parser cares about.
+#[derive(Default)]
+struct Attrs {
+    test: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos).copied();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_ident(&self, text: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_ident(text))
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(ch))
+    }
+
+    fn eat_ident(&mut self, text: &str) -> bool {
+        if self.at_ident(text) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if self.at_punct(ch) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn line(&self) -> u32 {
+        self.peek().map_or(0, |t| t.line)
+    }
+
+    /// Skip a balanced `(..)`, `[..]`, `{..}` group. Assumes the cursor
+    /// is at the opener; ends past the matching closer.
+    fn skip_group(&mut self) {
+        let (open, close) = match self.peek() {
+            Some(t) if t.is_punct('(') => ('(', ')'),
+            Some(t) if t.is_punct('[') => ('[', ']'),
+            Some(t) if t.is_punct('{') => ('{', '}'),
+            _ => {
+                self.bump();
+                return;
+            }
+        };
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Skip a `<...>` generics group (angle brackets nest; `(`/`[`/`{`
+    /// inside are balanced too).
+    fn skip_generics(&mut self) {
+        if !self.at_punct('<') {
+            return;
+        }
+        let mut angle = 0isize;
+        while let Some(t) = self.peek() {
+            if t.is_punct('<') {
+                angle += 1;
+                self.bump();
+            } else if t.is_punct('>') {
+                angle -= 1;
+                self.bump();
+                if angle <= 0 {
+                    return;
+                }
+            } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                self.skip_group();
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Collect type text until a top-level terminator (`,`, `)`, `{`,
+    /// `;`, `=`, or `where`), balancing `<>`/`()`/`[]`.
+    fn type_text(&mut self) -> String {
+        let mut out = String::new();
+        let mut angle = 0isize;
+        let mut paren = 0isize;
+        while let Some(t) = self.peek() {
+            if angle <= 0 && paren <= 0 {
+                let stop = t.is_punct(',')
+                    || t.is_punct(')')
+                    || t.is_punct('{')
+                    || t.is_punct('}')
+                    || t.is_punct(';')
+                    || t.is_punct('=')
+                    || t.is_ident("where");
+                if stop {
+                    break;
+                }
+            }
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                // `->` inside `Fn(..) -> T` — the `-` was just pushed.
+                if !out.ends_with('-') {
+                    angle -= 1;
+                    if angle < 0 {
+                        break;
+                    }
+                }
+            } else if t.is_punct('(') || t.is_punct('[') {
+                paren += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                paren -= 1;
+                if paren < 0 {
+                    break;
+                }
+            }
+            if t.kind == TokenKind::Ident && out.ends_with(|c: char| c.is_alphanumeric() || c == '_')
+            {
+                out.push(' ');
+            }
+            out.push_str(&t.text);
+            self.bump();
+        }
+        out
+    }
+
+    // ---- items ----------------------------------------------------------
+
+    /// Parse items until end of input (`top`) or a closing `}`.
+    fn parse_items(&mut self, top: bool) -> Vec<Item> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                None => break,
+                Some(t) if t.is_punct('}') && !top => break,
+                _ => {}
+            }
+            let before = self.pos;
+            if let Some(item) = self.parse_item() {
+                items.push(item);
+            }
+            if self.pos == before {
+                self.bump(); // always make progress
+            }
+        }
+        items
+    }
+
+    fn parse_attrs(&mut self) -> Attrs {
+        let mut attrs = Attrs::default();
+        while self.at_punct('#') {
+            self.bump();
+            self.eat_punct('!');
+            if !self.at_punct('[') {
+                break;
+            }
+            // Collect attribute idents to the matching `]`.
+            let mut depth = 0usize;
+            let mut idents: Vec<String> = Vec::new();
+            while let Some(t) = self.peek() {
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        break;
+                    }
+                } else if t.kind == TokenKind::Ident {
+                    idents.push(t.text.clone());
+                }
+                self.bump();
+            }
+            let is_test = idents.first().is_some_and(|s| s == "test")
+                || (idents.first().is_some_and(|s| s == "cfg")
+                    && idents.iter().any(|s| s == "test")
+                    && !idents.iter().any(|s| s == "not"));
+            attrs.test = attrs.test || is_test;
+        }
+        attrs
+    }
+
+    fn parse_item(&mut self) -> Option<Item> {
+        let attrs = self.parse_attrs();
+        // Visibility.
+        if self.eat_ident("pub") && self.at_punct('(') {
+            self.skip_group();
+        }
+        // Leading qualifiers on functions.
+        while self.at_ident("const") && self.peek_at(1).is_some_and(|t| t.is_ident("fn"))
+            || self.at_ident("unsafe")
+            || self.at_ident("async")
+            || self.at_ident("extern")
+        {
+            self.bump();
+            if self.peek().is_some_and(|t| t.kind == TokenKind::Str) {
+                self.bump(); // extern "C"
+            }
+        }
+        let t = self.peek()?;
+        if t.kind != TokenKind::Ident {
+            self.bump();
+            return None;
+        }
+        match t.text.as_str() {
+            "fn" => Some(Item::Fn(self.parse_fn(attrs.test))),
+            "struct" => Some(self.parse_struct()),
+            "impl" => Some(Item::Impl(self.parse_impl(attrs.test))),
+            "mod" => self.parse_mod(attrs.test),
+            "use" => Some(self.parse_use()),
+            "enum" | "trait" | "union" => {
+                // Skip to the body and over it.
+                while let Some(t) = self.peek() {
+                    if t.is_punct('{') {
+                        self.skip_group();
+                        break;
+                    }
+                    if t.is_punct(';') {
+                        self.bump();
+                        break;
+                    }
+                    self.bump();
+                }
+                Some(Item::Other)
+            }
+            "const" | "static" | "type" | "macro_rules" => {
+                // Terminated by `;` (macro_rules by its brace group).
+                while let Some(t) = self.peek() {
+                    if t.is_punct(';') {
+                        self.bump();
+                        break;
+                    }
+                    if t.is_punct('{') {
+                        self.skip_group();
+                        break;
+                    }
+                    if t.is_punct('(') || t.is_punct('[') {
+                        self.skip_group();
+                        continue;
+                    }
+                    self.bump();
+                }
+                Some(Item::Other)
+            }
+            _ => {
+                self.bump();
+                None
+            }
+        }
+    }
+
+    fn parse_fn(&mut self, is_test: bool) -> FnDef {
+        let line = self.line();
+        self.eat_ident("fn");
+        let name = match self.peek() {
+            Some(t) if t.kind == TokenKind::Ident => {
+                let n = t.text.clone();
+                self.bump();
+                n
+            }
+            _ => String::new(),
+        };
+        self.skip_generics();
+        // Parameters.
+        let mut params = Vec::new();
+        if self.at_punct('(') {
+            self.bump();
+            loop {
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct(')') => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {}
+                }
+                params.push(self.parse_param());
+                self.eat_punct(',');
+            }
+        }
+        // Return type.
+        let mut ret_ty = None;
+        if self.at_punct('-') && self.peek_at(1).is_some_and(|t| t.is_punct('>')) {
+            self.bump();
+            self.bump();
+            let ty = self.type_text();
+            if !ty.is_empty() {
+                ret_ty = Some(ty);
+            }
+        }
+        // Where clause.
+        if self.eat_ident("where") {
+            while let Some(t) = self.peek() {
+                if t.is_punct('{') || t.is_punct(';') {
+                    break;
+                }
+                if t.is_punct('<') {
+                    self.skip_generics();
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        let body = if self.at_punct('{') {
+            Some(self.parse_block())
+        } else {
+            self.eat_punct(';');
+            None
+        };
+        FnDef {
+            name,
+            params,
+            ret_ty,
+            body,
+            line,
+            is_test,
+        }
+    }
+
+    fn parse_param(&mut self) -> Param {
+        // Receiver forms: self / &self / &mut self / mut self.
+        let mut probe = 0usize;
+        while self
+            .peek_at(probe)
+            .is_some_and(|t| t.is_punct('&') || t.is_ident("mut") || t.kind == TokenKind::Lifetime)
+        {
+            probe += 1;
+        }
+        if self.peek_at(probe).is_some_and(|t| t.is_ident("self")) {
+            for _ in 0..=probe {
+                self.bump();
+            }
+            // `self: Arc<Self>` form.
+            let ty = if self.eat_punct(':') {
+                self.type_text()
+            } else {
+                String::new()
+            };
+            return Param {
+                name: "self".to_string(),
+                ty,
+            };
+        }
+        // Pattern up to `:`.
+        let mut names = Vec::new();
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            if depth == 0 && (t.is_punct(':') || t.is_punct(',') || t.is_punct(')')) {
+                break;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth = depth.saturating_sub(1);
+            } else if t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "mut" | "ref" | "_")
+            {
+                names.push(t.text.clone());
+            }
+            self.bump();
+        }
+        let ty = if self.eat_punct(':') {
+            self.type_text()
+        } else {
+            String::new()
+        };
+        Param {
+            name: names.into_iter().next().unwrap_or_else(|| "_".to_string()),
+            ty,
+        }
+    }
+
+    fn parse_struct(&mut self) -> Item {
+        let line = self.line();
+        self.eat_ident("struct");
+        let name = match self.peek() {
+            Some(t) if t.kind == TokenKind::Ident => {
+                let n = t.text.clone();
+                self.bump();
+                n
+            }
+            _ => return Item::Other,
+        };
+        self.skip_generics();
+        if self.eat_ident("where") {
+            while let Some(t) = self.peek() {
+                if t.is_punct('{') || t.is_punct(';') {
+                    break;
+                }
+                if t.is_punct('<') {
+                    self.skip_generics();
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        let mut fields = Vec::new();
+        if self.at_punct('(') {
+            // Tuple struct: fields named by index.
+            self.bump();
+            let mut ix = 0usize;
+            loop {
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct(')') => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {}
+                }
+                if self.eat_ident("pub") && self.at_punct('(') {
+                    self.skip_group();
+                }
+                let ty = self.type_text();
+                fields.push((ix.to_string(), ty));
+                ix += 1;
+                self.eat_punct(',');
+            }
+            self.eat_punct(';');
+        } else if self.at_punct('{') {
+            self.bump();
+            loop {
+                // Field attributes (`#[serde(skip)]`).
+                while self.at_punct('#') {
+                    self.bump();
+                    if self.at_punct('[') {
+                        self.skip_group();
+                    }
+                }
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct('}') => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {}
+                }
+                if self.eat_ident("pub") && self.at_punct('(') {
+                    self.skip_group();
+                }
+                let fname = match self.peek() {
+                    Some(t) if t.kind == TokenKind::Ident => {
+                        let n = t.text.clone();
+                        self.bump();
+                        n
+                    }
+                    _ => {
+                        self.bump();
+                        continue;
+                    }
+                };
+                if self.eat_punct(':') {
+                    let ty = self.type_text();
+                    fields.push((fname, ty));
+                }
+                self.eat_punct(',');
+            }
+        } else {
+            self.eat_punct(';'); // unit struct
+        }
+        Item::Struct(StructDef { name, fields, line })
+    }
+
+    fn parse_impl(&mut self, cfg_test: bool) -> ImplDef {
+        self.eat_ident("impl");
+        self.skip_generics();
+        let first = self.impl_path_head();
+        let (type_name, trait_name) = if self.eat_ident("for") {
+            let ty = self.impl_path_head();
+            (ty, Some(first))
+        } else {
+            (first, None)
+        };
+        if self.eat_ident("where") {
+            while let Some(t) = self.peek() {
+                if t.is_punct('{') {
+                    break;
+                }
+                if t.is_punct('<') {
+                    self.skip_generics();
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        let mut fns = Vec::new();
+        if self.at_punct('{') {
+            self.bump();
+            loop {
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct('}') => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {}
+                }
+                let before = self.pos;
+                let attrs = self.parse_attrs();
+                if self.eat_ident("pub") && self.at_punct('(') {
+                    self.skip_group();
+                }
+                while self.at_ident("const") && self.peek_at(1).is_some_and(|t| t.is_ident("fn"))
+                    || self.at_ident("unsafe")
+                    || self.at_ident("async")
+                {
+                    self.bump();
+                }
+                if self.at_ident("fn") {
+                    fns.push(self.parse_fn(attrs.test || cfg_test));
+                } else if self.at_ident("type") || self.at_ident("const") {
+                    while let Some(t) = self.peek() {
+                        if t.is_punct(';') {
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+        }
+        ImplDef {
+            type_name,
+            trait_name,
+            fns,
+            cfg_test,
+        }
+    }
+
+    /// Head identifier of an impl target path (`foo::Bar<T>` → `Bar`).
+    fn impl_path_head(&mut self) -> String {
+        let mut last = String::new();
+        // Leading `&`/`mut`/lifetimes on the type.
+        while self
+            .peek()
+            .is_some_and(|t| t.is_punct('&') || t.is_ident("mut") || t.kind == TokenKind::Lifetime)
+        {
+            self.bump();
+        }
+        while let Some(t) = self.peek() {
+            if t.kind == TokenKind::Ident {
+                last = t.text.clone();
+                self.bump();
+                if self.at_punct(':') && self.peek_at(1).is_some_and(|t| t.is_punct(':')) {
+                    self.bump();
+                    self.bump();
+                    continue;
+                }
+                if self.at_punct('<') {
+                    self.skip_generics();
+                }
+                break;
+            }
+            break;
+        }
+        last
+    }
+
+    fn parse_mod(&mut self, cfg_test: bool) -> Option<Item> {
+        self.eat_ident("mod");
+        let name = match self.peek() {
+            Some(t) if t.kind == TokenKind::Ident => {
+                let n = t.text.clone();
+                self.bump();
+                n
+            }
+            _ => return None,
+        };
+        if self.eat_punct(';') {
+            return Some(Item::Other); // out-of-line module
+        }
+        if !self.at_punct('{') {
+            return None;
+        }
+        self.bump();
+        let items = self.parse_items(false);
+        self.eat_punct('}');
+        Some(Item::Mod(ModDef {
+            name,
+            cfg_test,
+            items,
+        }))
+    }
+
+    fn parse_use(&mut self) -> Item {
+        self.eat_ident("use");
+        let mut paths = Vec::new();
+        let mut prefix: Vec<String> = Vec::new();
+        self.parse_use_tree(&mut prefix, &mut paths);
+        self.eat_punct(';');
+        Item::Use(UseDef { paths })
+    }
+
+    fn parse_use_tree(&mut self, prefix: &mut Vec<String>, out: &mut Vec<String>) {
+        let depth_at_entry = prefix.len();
+        loop {
+            match self.peek() {
+                Some(t) if t.kind == TokenKind::Ident => {
+                    if t.text == "as" {
+                        // Alias: keep the original path, skip the alias.
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    prefix.push(t.text.clone());
+                    self.bump();
+                }
+                Some(t) if t.is_punct('*') => {
+                    prefix.push("*".to_string());
+                    self.bump();
+                }
+                Some(t) if t.is_punct('{') => {
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => break,
+                            Some(t) if t.is_punct('}') => {
+                                self.bump();
+                                break;
+                            }
+                            _ => {}
+                        }
+                        self.parse_use_tree(prefix, out);
+                        self.eat_punct(',');
+                    }
+                    prefix.truncate(depth_at_entry);
+                    return;
+                }
+                _ => break,
+            }
+            if self.at_punct(':') && self.peek_at(1).is_some_and(|t| t.is_punct(':')) {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        if prefix.len() > depth_at_entry {
+            out.push(prefix.join("::"));
+        }
+        prefix.truncate(depth_at_entry);
+    }
+
+    // ---- statements and expressions -------------------------------------
+
+    fn parse_block(&mut self) -> Block {
+        let mut stmts = Vec::new();
+        if !self.eat_punct('{') {
+            return Block { stmts };
+        }
+        loop {
+            match self.peek() {
+                None => break,
+                Some(t) if t.is_punct('}') => {
+                    self.bump();
+                    break;
+                }
+                Some(t) if t.is_punct(';') => {
+                    self.bump();
+                    continue;
+                }
+                _ => {}
+            }
+            let before = self.pos;
+            if let Some(stmt) = self.parse_stmt() {
+                stmts.push(stmt);
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        Block { stmts }
+    }
+
+    fn parse_stmt(&mut self) -> Option<Stmt> {
+        let t = self.peek()?;
+        if t.kind == TokenKind::Ident {
+            match t.text.as_str() {
+                "let" => return Some(self.parse_let()),
+                "return" => {
+                    let line = t.line;
+                    self.bump();
+                    if self.at_punct(';') || self.at_punct('}') {
+                        return Some(Stmt::Return(None, line));
+                    }
+                    let e = self.parse_expr(true);
+                    self.eat_punct(';');
+                    return Some(Stmt::Return(Some(e), line));
+                }
+                "fn" | "struct" | "impl" | "use" | "mod" | "enum" | "trait" | "const"
+                | "static" | "type" | "macro_rules" => {
+                    // `const` could start a const-block expression in
+                    // theory; treat as item (none in this workspace).
+                    return self.parse_item().map(|i| Stmt::Item(Box::new(i)));
+                }
+                _ => {}
+            }
+        }
+        if t.is_punct('#') {
+            // Statement-level attribute (e.g. #[allow]): consume, retry.
+            self.parse_attrs();
+            return self.parse_stmt();
+        }
+        let e = self.parse_expr(true);
+        self.eat_punct(';');
+        Some(Stmt::Expr(e))
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        let line = self.line();
+        self.eat_ident("let");
+        let names = self.parse_pattern_names(&['=', ':', ';']);
+        let ty = if self.eat_punct(':') {
+            Some(self.type_text())
+        } else {
+            None
+        };
+        let init = if self.eat_punct('=') {
+            Some(self.parse_expr(true))
+        } else {
+            None
+        };
+        // `let ... else { }` — the diverging block needs no modelling.
+        if self.eat_ident("else") && self.at_punct('{') {
+            let blk = self.parse_block();
+            let _ = blk;
+        }
+        self.eat_punct(';');
+        Stmt::Let {
+            names,
+            ty,
+            init,
+            line,
+        }
+    }
+
+    /// Collect binding names from a pattern, stopping at any of `stops`
+    /// at depth 0. Idents immediately followed by `(`/`{`/`::` are
+    /// constructors/paths, not bindings.
+    fn parse_pattern_names(&mut self, stops: &[char]) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            if depth == 0 && stops.iter().any(|&c| t.is_punct(c)) {
+                break;
+            }
+            // `else` ends a let-pattern; `in` ends a for-pattern; `=`
+            // handled via stops.
+            if depth == 0 && (t.is_ident("else") || t.is_ident("in")) {
+                break;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+                self.bump();
+                continue;
+            }
+            if t.is_punct(')') || t.is_punct(']') {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+                self.bump();
+                continue;
+            }
+            if t.kind == TokenKind::Ident {
+                let skip = matches!(t.text.as_str(), "mut" | "ref" | "_" | "box");
+                let next_is_ctor = self.peek_at(1).is_some_and(|n| {
+                    n.is_punct('(')
+                        || n.is_punct('{')
+                        || (n.is_punct(':') && self.peek_at(2).is_some_and(|m| m.is_punct(':')))
+                });
+                if !skip && !next_is_ctor {
+                    names.push(t.text.clone());
+                }
+                if self.peek_at(1).is_some_and(|n| n.is_punct('{')) {
+                    // Struct pattern: consume its braced body shallowly,
+                    // collecting binding idents inside.
+                    self.bump();
+                    let mut b = 0usize;
+                    while let Some(t) = self.peek() {
+                        if t.is_punct('{') {
+                            b += 1;
+                        } else if t.is_punct('}') {
+                            b -= 1;
+                            if b == 0 {
+                                self.bump();
+                                break;
+                            }
+                        } else if t.kind == TokenKind::Ident
+                            && !matches!(t.text.as_str(), "mut" | "ref" | "_")
+                        {
+                            names.push(t.text.clone());
+                        }
+                        self.bump();
+                    }
+                    continue;
+                }
+            }
+            self.bump();
+        }
+        names
+    }
+
+    /// Parse an expression. `allow_struct` gates `Path { .. }` literal
+    /// parsing (off in `if`/`while`/`match`-scrutinee/`for`-iter heads).
+    fn parse_expr(&mut self, allow_struct: bool) -> Expr {
+        self.parse_assign(allow_struct)
+    }
+
+    fn parse_assign(&mut self, allow_struct: bool) -> Expr {
+        let lhs = self.parse_binary(allow_struct);
+        // `=` or compound `op=` (the tokenizer yields single puncts).
+        if self.at_punct('=') && !self.peek_at(1).is_some_and(|t| t.is_punct('=')) {
+            let line = self.line();
+            self.bump();
+            let value = self.parse_expr(allow_struct);
+            return Expr::Assign {
+                target: Box::new(lhs),
+                op: None,
+                value: Box::new(value),
+                line,
+            };
+        }
+        let compound = matches!(self.peek(), Some(t) if "+-*/%^&|".contains(&t.text))
+            && self.peek_at(1).is_some_and(|t| t.is_punct('='))
+            // Not `==`, `!=`, `<=`, `>=`; `&=` vs `&&`; avoid `a & = b`.
+            && !self.peek_at(2).is_some_and(|t| t.is_punct('='));
+        if compound {
+            let op = self.peek().map(|t| t.text.clone()).unwrap_or_default();
+            let line = self.line();
+            self.bump();
+            self.bump();
+            let value = self.parse_expr(allow_struct);
+            return Expr::Assign {
+                target: Box::new(lhs),
+                op: Some(op),
+                value: Box::new(value),
+                line,
+            };
+        }
+        lhs
+    }
+
+    fn parse_binary(&mut self, allow_struct: bool) -> Expr {
+        let line = self.line();
+        let first = self.parse_unary(allow_struct);
+        let mut parts = vec![first];
+        let mut ops = Vec::new();
+        while let Some(op) = self.binary_op_here() {
+            let e = self.parse_unary(allow_struct);
+            ops.push(op);
+            parts.push(e);
+        }
+        if parts.len() == 1 {
+            return parts.into_iter().next().unwrap_or(Expr::Unknown(line));
+        }
+        Expr::Binary { parts, ops, line }
+    }
+
+    /// If the cursor is at a binary operator, consume and return it.
+    fn binary_op_here(&mut self) -> Option<String> {
+        let t = self.peek()?;
+        if t.kind != TokenKind::Punct {
+            return None;
+        }
+        let c = t.text.chars().next()?;
+        let next = self.peek_at(1);
+        let two = |p: &mut Self, s: &str| {
+            p.bump();
+            p.bump();
+            Some(s.to_string())
+        };
+        match c {
+            '+' | '-' | '*' | '/' | '%' | '^' => {
+                if next.is_some_and(|t| t.is_punct('=')) {
+                    return None; // compound assignment, handled above
+                }
+                self.bump();
+                Some(c.to_string())
+            }
+            '=' if next.is_some_and(|t| t.is_punct('=')) => two(self, "=="),
+            '!' if next.is_some_and(|t| t.is_punct('=')) => two(self, "!="),
+            '&' => {
+                if next.is_some_and(|t| t.is_punct('&')) {
+                    return two(self, "&&");
+                }
+                if next.is_some_and(|t| t.is_punct('=')) {
+                    return None;
+                }
+                self.bump();
+                Some("&".to_string())
+            }
+            '|' => {
+                if next.is_some_and(|t| t.is_punct('|')) {
+                    return two(self, "||");
+                }
+                if next.is_some_and(|t| t.is_punct('=')) {
+                    return None;
+                }
+                self.bump();
+                Some("|".to_string())
+            }
+            '<' => {
+                if next.is_some_and(|t| t.is_punct('=')) {
+                    return two(self, "<=");
+                }
+                if next.is_some_and(|t| t.is_punct('<')) {
+                    return two(self, "<<");
+                }
+                self.bump();
+                Some("<".to_string())
+            }
+            '>' => {
+                if next.is_some_and(|t| t.is_punct('=')) {
+                    return two(self, ">=");
+                }
+                if next.is_some_and(|t| t.is_punct('>')) {
+                    return two(self, ">>");
+                }
+                self.bump();
+                Some(">".to_string())
+            }
+            '.' if next.is_some_and(|t| t.is_punct('.')) => {
+                // Range `..` / `..=`.
+                self.bump();
+                self.bump();
+                self.eat_punct('=');
+                Some("..".to_string())
+            }
+            _ => None,
+        }
+    }
+
+    fn parse_unary(&mut self, allow_struct: bool) -> Expr {
+        let line = self.line();
+        if self.at_punct('&') && !self.peek_at(1).is_some_and(|t| t.is_punct('&')) {
+            self.bump();
+            self.eat_ident("mut");
+            let e = self.parse_unary(allow_struct);
+            return Expr::Unary {
+                expr: Box::new(e),
+                line,
+            };
+        }
+        if self.at_punct('*') || self.at_punct('!') || self.at_punct('-') {
+            self.bump();
+            let e = self.parse_unary(allow_struct);
+            return Expr::Unary {
+                expr: Box::new(e),
+                line,
+            };
+        }
+        let mut e = self.parse_postfix(allow_struct);
+        // Casts bind tighter than binary ops: `x as f64 + y`.
+        while self.at_ident("as") {
+            let line = self.line();
+            self.bump();
+            let mut ty = String::new();
+            // A cast type: path + optional generics; stop conservatively.
+            while let Some(t) = self.peek() {
+                if t.kind == TokenKind::Ident {
+                    ty.push_str(&t.text);
+                    self.bump();
+                    if self.at_punct(':') && self.peek_at(1).is_some_and(|t| t.is_punct(':')) {
+                        ty.push_str("::");
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    if self.at_punct('<') {
+                        self.skip_generics();
+                    }
+                }
+                break;
+            }
+            e = Expr::Cast {
+                expr: Box::new(e),
+                ty,
+                line,
+            };
+        }
+        e
+    }
+
+    fn parse_postfix(&mut self, allow_struct: bool) -> Expr {
+        let mut e = self.parse_primary(allow_struct);
+        loop {
+            if self.at_punct('.') {
+                // Not a range (ranges are consumed as binary ops).
+                if self.peek_at(1).is_some_and(|t| t.is_punct('.')) {
+                    break;
+                }
+                let line = self.line();
+                self.bump();
+                match self.peek() {
+                    Some(t) if t.kind == TokenKind::Ident => {
+                        let name = t.text.clone();
+                        self.bump();
+                        if name == "await" {
+                            continue;
+                        }
+                        // Turbofish.
+                        let mut turbofish = None;
+                        if self.at_punct(':')
+                            && self.peek_at(1).is_some_and(|t| t.is_punct(':'))
+                            && self.peek_at(2).is_some_and(|t| t.is_punct('<'))
+                        {
+                            self.bump();
+                            self.bump();
+                            let start = self.pos;
+                            self.skip_generics();
+                            let text: String = self.toks[start..self.pos]
+                                .iter()
+                                .map(|t| t.text.as_str())
+                                .collect();
+                            // Drop the enclosing angle brackets: the
+                            // stored text is the type list itself.
+                            let text = text
+                                .strip_prefix('<')
+                                .unwrap_or(&text)
+                                .strip_suffix('>')
+                                .unwrap_or(&text)
+                                .to_string();
+                            turbofish = Some(text);
+                        }
+                        if self.at_punct('(') {
+                            let args = self.parse_call_args();
+                            e = Expr::MethodCall {
+                                recv: Box::new(e),
+                                method: name,
+                                turbofish,
+                                args,
+                                line,
+                            };
+                        } else {
+                            e = Expr::Field {
+                                base: Box::new(e),
+                                name,
+                                line,
+                            };
+                        }
+                    }
+                    Some(t) if t.kind == TokenKind::Number => {
+                        let name = t.text.clone();
+                        self.bump();
+                        e = Expr::Field {
+                            base: Box::new(e),
+                            name,
+                            line,
+                        };
+                    }
+                    _ => break,
+                }
+                continue;
+            }
+            if self.at_punct('(') {
+                let line = e.line();
+                let args = self.parse_call_args();
+                // Call on a non-path expression (e.g. a closure call):
+                // model as a method-less call via MethodCall "call".
+                e = match e {
+                    Expr::Path { segs, .. } => Expr::Call {
+                        callee: segs,
+                        args,
+                        line,
+                    },
+                    other => Expr::MethodCall {
+                        recv: Box::new(other),
+                        method: "__call".to_string(),
+                        turbofish: None,
+                        args,
+                        line,
+                    },
+                };
+                continue;
+            }
+            if self.at_punct('[') {
+                let line = self.line();
+                self.bump();
+                let index = if self.at_punct(']') {
+                    Expr::Unknown(line)
+                } else {
+                    self.parse_expr(true)
+                };
+                self.eat_punct(']');
+                e = Expr::Index {
+                    base: Box::new(e),
+                    index: Box::new(index),
+                    line,
+                };
+                continue;
+            }
+            if self.at_punct('?') {
+                let line = self.line();
+                self.bump();
+                e = Expr::Try {
+                    expr: Box::new(e),
+                    line,
+                };
+                continue;
+            }
+            break;
+        }
+        e
+    }
+
+    fn parse_call_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        if !self.eat_punct('(') {
+            return args;
+        }
+        loop {
+            match self.peek() {
+                None => break,
+                Some(t) if t.is_punct(')') => {
+                    self.bump();
+                    break;
+                }
+                _ => {}
+            }
+            let before = self.pos;
+            args.push(self.parse_expr(true));
+            self.eat_punct(',');
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        args
+    }
+
+    fn parse_primary(&mut self, allow_struct: bool) -> Expr {
+        let Some(t) = self.peek() else {
+            return Expr::Unknown(0);
+        };
+        let line = t.line;
+        // Literals.
+        if matches!(t.kind, TokenKind::Number | TokenKind::Str) {
+            let text = t.text.clone();
+            self.bump();
+            return Expr::Lit { text, line };
+        }
+        if t.kind == TokenKind::Lifetime {
+            // Loop label: `'outer: loop { .. }`.
+            self.bump();
+            self.eat_punct(':');
+            return self.parse_primary(allow_struct);
+        }
+        // Grouping / tuples.
+        if t.is_punct('(') {
+            self.bump();
+            let mut items = Vec::new();
+            loop {
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct(')') => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {}
+                }
+                let before = self.pos;
+                items.push(self.parse_expr(true));
+                self.eat_punct(',');
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            if items.len() == 1 {
+                return items.into_iter().next().unwrap_or(Expr::Unknown(line));
+            }
+            return Expr::Tuple { items, line };
+        }
+        if t.is_punct('[') {
+            self.bump();
+            let mut items = Vec::new();
+            loop {
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct(']') => {
+                        self.bump();
+                        break;
+                    }
+                    Some(t) if t.is_punct(';') => {
+                        // `[elem; N]` repetition.
+                        self.bump();
+                        continue;
+                    }
+                    _ => {}
+                }
+                let before = self.pos;
+                items.push(self.parse_expr(true));
+                self.eat_punct(',');
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            return Expr::ArrayLit { items, line };
+        }
+        if t.is_punct('{') {
+            let block = self.parse_block();
+            return Expr::Block(block, line);
+        }
+        // Closures.
+        if t.is_punct('|') || t.is_ident("move") {
+            let after_move = if t.is_ident("move") { 1 } else { 0 };
+            let is_closure = self
+                .peek_at(after_move)
+                .is_some_and(|t| t.is_punct('|'));
+            if is_closure {
+                if after_move == 1 {
+                    self.bump(); // move
+                }
+                return self.parse_closure(line);
+            }
+        }
+        if t.kind == TokenKind::Ident {
+            match t.text.as_str() {
+                "if" => return self.parse_if(),
+                "match" => return self.parse_match(),
+                "for" => return self.parse_for(),
+                "while" => return self.parse_while(),
+                "loop" => {
+                    self.bump();
+                    let body = self.parse_block();
+                    return Expr::Loop { body, line };
+                }
+                "break" | "continue" => {
+                    self.bump();
+                    // Optional label / value.
+                    if self.peek().is_some_and(|t| t.kind == TokenKind::Lifetime) {
+                        self.bump();
+                    }
+                    if !(self.at_punct(';') || self.at_punct('}') || self.at_punct(')')) {
+                        let _ = self.parse_expr(allow_struct);
+                    }
+                    return Expr::Unknown(line);
+                }
+                "return" => {
+                    // Value-position `return e` (e.g. a match arm):
+                    // modelled as the pseudo-macro `return!(e)` so
+                    // dataflow can route `e` into the fn's return.
+                    self.bump();
+                    if !(self.at_punct(';') || self.at_punct('}') || self.at_punct(')')) {
+                        let e = self.parse_expr(allow_struct);
+                        return Expr::Macro {
+                            name: "return".to_string(),
+                            args: vec![e],
+                            line,
+                        };
+                    }
+                    return Expr::Unknown(line);
+                }
+                "true" | "false" => {
+                    let text = t.text.clone();
+                    self.bump();
+                    return Expr::Lit { text, line };
+                }
+                "unsafe" => {
+                    self.bump();
+                    if self.at_punct('{') {
+                        let block = self.parse_block();
+                        return Expr::Block(block, line);
+                    }
+                    return Expr::Unknown(line);
+                }
+                _ => {}
+            }
+            return self.parse_path_expr(allow_struct);
+        }
+        self.bump();
+        Expr::Unknown(line)
+    }
+
+    fn parse_closure(&mut self, line: u32) -> Expr {
+        // At `|` (params) or `||`.
+        let mut params = Vec::new();
+        self.eat_punct('|');
+        if !self.eat_punct('|') {
+            // Non-empty parameter list up to the closing `|`.
+            let mut depth = 0usize;
+            let mut expect_name = true;
+            while let Some(t) = self.peek() {
+                if depth == 0 && t.is_punct('|') {
+                    self.bump();
+                    break;
+                }
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0 && t.is_punct(',') {
+                    expect_name = true;
+                } else if depth == 0 && t.is_punct(':') {
+                    expect_name = false; // a type annotation follows
+                } else if depth == 0
+                    && expect_name
+                    && t.kind == TokenKind::Ident
+                    && !matches!(t.text.as_str(), "mut" | "ref" | "_")
+                {
+                    params.push(t.text.clone());
+                    expect_name = false;
+                } else if depth == 1
+                    && expect_name
+                    && t.kind == TokenKind::Ident
+                    && !matches!(t.text.as_str(), "mut" | "ref" | "_")
+                {
+                    // Tuple-pattern params: |(k, v)|.
+                    params.push(t.text.clone());
+                }
+                self.bump();
+            }
+        }
+        // Optional return type `-> T`.
+        if self.at_punct('-') && self.peek_at(1).is_some_and(|t| t.is_punct('>')) {
+            self.bump();
+            self.bump();
+            let _ = self.type_text();
+        }
+        let body = self.parse_expr(true);
+        Expr::Closure {
+            params,
+            body: Box::new(body),
+            line,
+        }
+    }
+
+    fn parse_if(&mut self) -> Expr {
+        let line = self.line();
+        self.eat_ident("if");
+        let mut binds = Vec::new();
+        if self.eat_ident("let") {
+            binds = self.parse_pattern_names(&['=']);
+            self.eat_punct('=');
+        }
+        let cond = self.parse_expr(false);
+        let then_branch = self.parse_block();
+        let else_branch = if self.eat_ident("else") {
+            if self.at_ident("if") {
+                Some(Box::new(self.parse_if()))
+            } else {
+                let blk = self.parse_block();
+                Some(Box::new(Expr::Block(blk, line)))
+            }
+        } else {
+            None
+        };
+        Expr::If {
+            cond: Box::new(cond),
+            binds,
+            then_branch,
+            else_branch,
+            line,
+        }
+    }
+
+    fn parse_while(&mut self) -> Expr {
+        let line = self.line();
+        self.eat_ident("while");
+        let mut binds = Vec::new();
+        if self.eat_ident("let") {
+            binds = self.parse_pattern_names(&['=']);
+            self.eat_punct('=');
+        }
+        let cond = self.parse_expr(false);
+        let body = self.parse_block();
+        Expr::While {
+            cond: Box::new(cond),
+            binds,
+            body,
+            line,
+        }
+    }
+
+    fn parse_for(&mut self) -> Expr {
+        let line = self.line();
+        self.eat_ident("for");
+        let names = self.parse_pattern_names(&[]);
+        self.eat_ident("in");
+        let iter = self.parse_expr(false);
+        let body = self.parse_block();
+        Expr::For {
+            names,
+            iter: Box::new(iter),
+            body,
+            line,
+        }
+    }
+
+    fn parse_match(&mut self) -> Expr {
+        let line = self.line();
+        self.eat_ident("match");
+        let scrutinee = self.parse_expr(false);
+        let mut arms = Vec::new();
+        if self.eat_punct('{') {
+            loop {
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct('}') => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {}
+                }
+                // Pattern (optionally guarded) up to `=>`.
+                let mut binds = Vec::new();
+                let mut depth = 0usize;
+                while let Some(t) = self.peek() {
+                    if depth == 0 && t.is_punct('=') && self.peek_at(1).is_some_and(|n| n.is_punct('>'))
+                    {
+                        self.bump();
+                        self.bump();
+                        break;
+                    }
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                        depth = depth.saturating_sub(1);
+                    } else if t.kind == TokenKind::Ident
+                        && !matches!(t.text.as_str(), "mut" | "ref" | "_" | "if")
+                    {
+                        let next_is_ctor = self.peek_at(1).is_some_and(|n| {
+                            n.is_punct('(')
+                                || n.is_punct('{')
+                                || (n.is_punct(':')
+                                    && self.peek_at(2).is_some_and(|m| m.is_punct(':')))
+                        });
+                        if !next_is_ctor {
+                            binds.push(t.text.clone());
+                        }
+                    }
+                    self.bump();
+                }
+                let body = self.parse_expr(true);
+                self.eat_punct(',');
+                arms.push((binds, body));
+            }
+        }
+        Expr::Match {
+            scrutinee: Box::new(scrutinee),
+            arms,
+            line,
+        }
+    }
+
+    fn parse_path_expr(&mut self, allow_struct: bool) -> Expr {
+        let line = self.line();
+        let mut segs = Vec::new();
+        let mut turbofish_tail = false;
+        while let Some(t) = self.peek() {
+            if t.kind != TokenKind::Ident {
+                break;
+            }
+            segs.push(t.text.clone());
+            self.bump();
+            if self.at_punct(':') && self.peek_at(1).is_some_and(|t| t.is_punct(':')) {
+                self.bump();
+                self.bump();
+                if self.at_punct('<') {
+                    // `Vec::<T>::new` — skip the turbofish, continue.
+                    self.skip_generics();
+                    turbofish_tail = true;
+                    if self.at_punct(':') && self.peek_at(1).is_some_and(|t| t.is_punct(':')) {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        let _ = turbofish_tail;
+        if segs.is_empty() {
+            return Expr::Unknown(line);
+        }
+        // Macro call `name!(...)` / `name![...]` / `name!{...}`.
+        if self.at_punct('!')
+            && self
+                .peek_at(1)
+                .is_some_and(|t| t.is_punct('(') || t.is_punct('[') || t.is_punct('{'))
+        {
+            self.bump();
+            let name = segs.join("::");
+            let args = self.parse_macro_args();
+            return Expr::Macro { name, args, line };
+        }
+        // Struct literal.
+        if allow_struct && self.at_punct('{') {
+            let looks_like_struct = segs
+                .last()
+                .is_some_and(|s| s.chars().next().is_some_and(char::is_uppercase))
+                && self.peek_at(1).is_some_and(|t| {
+                    (t.kind == TokenKind::Ident
+                        && self
+                            .peek_at(2)
+                            .is_some_and(|n| n.is_punct(':') || n.is_punct(',') || n.is_punct('}')))
+                        || t.is_punct('}')
+                        || t.is_punct('.')
+                });
+            if looks_like_struct {
+                return self.parse_struct_lit(segs, line);
+            }
+        }
+        Expr::Path { segs, line }
+    }
+
+    fn parse_macro_args(&mut self) -> Vec<Expr> {
+        // At `(`, `[`, or `{`: parse comma-separated expressions
+        // best-effort inside the group.
+        let close = match self.peek() {
+            Some(t) if t.is_punct('(') => ')',
+            Some(t) if t.is_punct('[') => ']',
+            Some(t) if t.is_punct('{') => '}',
+            _ => return Vec::new(),
+        };
+        self.bump();
+        let mut args = Vec::new();
+        loop {
+            match self.peek() {
+                None => break,
+                Some(t) if t.is_punct(close) => {
+                    self.bump();
+                    break;
+                }
+                Some(t) if t.is_punct(',') || t.is_punct(';') => {
+                    self.bump();
+                    continue;
+                }
+                _ => {}
+            }
+            let before = self.pos;
+            args.push(self.parse_expr(true));
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        args
+    }
+
+    fn parse_struct_lit(&mut self, path: Vec<String>, line: u32) -> Expr {
+        self.eat_punct('{');
+        let mut fields = Vec::new();
+        loop {
+            match self.peek() {
+                None => break,
+                Some(t) if t.is_punct('}') => {
+                    self.bump();
+                    break;
+                }
+                _ => {}
+            }
+            if self.at_punct('.') && self.peek_at(1).is_some_and(|t| t.is_punct('.')) {
+                // `..base` — parse the base expression for its flow.
+                self.bump();
+                self.bump();
+                let base = self.parse_expr(true);
+                fields.push(("..".to_string(), base));
+                self.eat_punct(',');
+                continue;
+            }
+            let fname = match self.peek() {
+                Some(t) if t.kind == TokenKind::Ident => {
+                    let n = t.text.clone();
+                    self.bump();
+                    n
+                }
+                _ => {
+                    self.bump();
+                    continue;
+                }
+            };
+            let value = if self.eat_punct(':') {
+                self.parse_expr(true)
+            } else {
+                // Shorthand `Field { name }`.
+                Expr::Path {
+                    segs: vec![fname.clone()],
+                    line,
+                }
+            };
+            fields.push((fname, value));
+            self.eat_punct(',');
+        }
+        Expr::StructLit { path, fields, line }
+    }
+}
+
+/// Walk every function in `items` (free, impl, nested mods), calling
+/// `f(owner_type, fn)` — `owner_type` is the impl type for methods.
+pub fn visit_fns<'a>(items: &'a [Item], f: &mut impl FnMut(Option<&'a str>, &'a FnDef, bool)) {
+    visit_fns_inner(items, false, f);
+}
+
+fn visit_fns_inner<'a>(
+    items: &'a [Item],
+    in_test_mod: bool,
+    f: &mut impl FnMut(Option<&'a str>, &'a FnDef, bool),
+) {
+    for item in items {
+        match item {
+            Item::Fn(fd) => f(None, fd, in_test_mod),
+            Item::Impl(imp) => {
+                for fd in &imp.fns {
+                    f(Some(&imp.type_name), fd, in_test_mod || imp.cfg_test);
+                }
+            }
+            Item::Mod(m) => visit_fns_inner(&m.items, in_test_mod || m.cfg_test, f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file("test.rs", "test", &tokenize(src))
+    }
+
+    fn only_fn(file: &ParsedFile) -> &FnDef {
+        for item in &file.items {
+            if let Item::Fn(f) = item {
+                return f;
+            }
+        }
+        panic!("no fn parsed");
+    }
+
+    #[test]
+    fn parses_fn_signature() {
+        let f = parse("pub fn foo(a: u32, b: &FxHashMap<K, V>) -> Vec<f64> { a }");
+        let fd = only_fn(&f);
+        assert_eq!(fd.name, "foo");
+        assert_eq!(fd.params.len(), 2);
+        assert_eq!(fd.params[0].name, "a");
+        assert!(fd.params[1].ty.contains("FxHashMap"));
+        assert!(fd.ret_ty.as_deref().unwrap_or("").contains("Vec"));
+        assert!(fd.body.is_some());
+    }
+
+    #[test]
+    fn parses_impl_methods_and_receiver() {
+        let f = parse("impl Foo { fn bar(&self, x: u32) -> u32 { self.y + x } }");
+        let Item::Impl(imp) = &f.items[0] else {
+            panic!("expected impl");
+        };
+        assert_eq!(imp.type_name, "Foo");
+        assert_eq!(imp.fns[0].name, "bar");
+        assert_eq!(imp.fns[0].params[0].name, "self");
+    }
+
+    #[test]
+    fn parses_trait_impl_type() {
+        let f = parse("impl EvolutionMeasure for ClassChangeCount { fn id(&self) -> MeasureId { MeasureId::new(\"x\") } }");
+        let Item::Impl(imp) = &f.items[0] else {
+            panic!("expected impl");
+        };
+        assert_eq!(imp.type_name, "ClassChangeCount");
+        assert_eq!(imp.trait_name.as_deref(), Some("EvolutionMeasure"));
+    }
+
+    #[test]
+    fn parses_struct_fields() {
+        let f = parse("struct S { pub a: FxHashMap<TermId, f64>, b: Mutex<Vec<u8>> }");
+        let Item::Struct(s) = &f.items[0] else {
+            panic!("expected struct");
+        };
+        assert_eq!(s.fields.len(), 2);
+        assert!(s.fields[0].1.contains("FxHashMap"));
+        assert!(s.fields[1].1.contains("Mutex"));
+    }
+
+    #[test]
+    fn parses_method_chain() {
+        let f = parse("fn f(m: &FxHashMap<u32, f64>) -> f64 { m.values().copied().sum::<f64>() }");
+        let fd = only_fn(&f);
+        let Some(body) = &fd.body else {
+            panic!("body")
+        };
+        let Stmt::Expr(e) = &body.stmts[0] else {
+            panic!("expr stmt")
+        };
+        let Expr::MethodCall {
+            method, turbofish, recv, ..
+        } = e
+        else {
+            panic!("method call, got {e:?}")
+        };
+        assert_eq!(method, "sum");
+        assert_eq!(turbofish.as_deref(), Some("f64"));
+        let Expr::MethodCall { method, .. } = recv.as_ref() else {
+            panic!("chained")
+        };
+        assert_eq!(method, "copied");
+    }
+
+    #[test]
+    fn parses_for_loop_over_reference() {
+        let f = parse("fn f(m: &FxHashSet<u32>) { for &x in m { use_it(x); } }");
+        let fd = only_fn(&f);
+        let Stmt::Expr(Expr::For { names, iter, .. }) =
+            &fd.body.as_ref().expect("body").stmts[0]
+        else {
+            panic!("for loop")
+        };
+        assert_eq!(names, &["x"]);
+        assert!(matches!(iter.as_ref(), Expr::Path { segs, .. } if segs == &["m"]));
+    }
+
+    #[test]
+    fn parses_struct_literal_and_shorthand() {
+        let f = parse("fn f() -> P { P { from, to, digest: d(x) } }");
+        let fd = only_fn(&f);
+        let Stmt::Expr(Expr::StructLit { path, fields, .. }) =
+            &fd.body.as_ref().expect("body").stmts[0]
+        else {
+            panic!("struct literal")
+        };
+        assert_eq!(path, &["P"]);
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields[0].0, "from");
+        assert!(matches!(&fields[2].1, Expr::Call { callee, .. } if callee == &["d"]));
+    }
+
+    #[test]
+    fn if_condition_does_not_eat_block_as_struct_lit() {
+        let f = parse("fn f(x: Foo) -> u32 { if x.bar { 1 } else { 2 } }");
+        let fd = only_fn(&f);
+        let Stmt::Expr(Expr::If { cond, .. }) = &fd.body.as_ref().expect("body").stmts[0] else {
+            panic!("if expr")
+        };
+        assert!(matches!(cond.as_ref(), Expr::Field { .. }));
+    }
+
+    #[test]
+    fn parses_closures_with_params() {
+        let f = parse("fn f(v: Vec<u32>) -> Vec<u32> { v.iter().map(|&(k, w)| k + w).collect() }");
+        let fd = only_fn(&f);
+        let Stmt::Expr(Expr::MethodCall { recv, method, .. }) =
+            &fd.body.as_ref().expect("body").stmts[0]
+        else {
+            panic!("collect")
+        };
+        assert_eq!(method, "collect");
+        let Expr::MethodCall { args, .. } = recv.as_ref() else {
+            panic!("map")
+        };
+        let Expr::Closure { params, .. } = &args[0] else {
+            panic!("closure")
+        };
+        assert_eq!(params, &["k", "w"]);
+    }
+
+    #[test]
+    fn parses_use_tree() {
+        let f = parse("use std::time::{SystemTime, Instant};\nuse evorec_kb::FxHashMap;");
+        let Item::Use(u) = &f.items[0] else {
+            panic!("use")
+        };
+        assert!(u.paths.contains(&"std::time::SystemTime".to_string()));
+        assert!(u.paths.contains(&"std::time::Instant".to_string()));
+    }
+
+    #[test]
+    fn marks_test_functions_and_modules() {
+        let f = parse(
+            "#[test]\nfn t() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn helper() {} }\nfn normal() {}",
+        );
+        let mut seen = Vec::new();
+        visit_fns(&f.items, &mut |_, fd, in_test| {
+            seen.push((fd.name.clone(), fd.is_test || in_test));
+        });
+        assert!(seen.contains(&("t".to_string(), true)));
+        assert!(seen.contains(&("helper".to_string(), true)));
+        assert!(seen.contains(&("normal".to_string(), false)));
+    }
+
+    #[test]
+    fn parses_match_arms_with_bindings() {
+        let f = parse("fn f(o: Option<u32>) -> u32 { match o { Some(v) => v, None => 0 } }");
+        let fd = only_fn(&f);
+        let Stmt::Expr(Expr::Match { arms, .. }) = &fd.body.as_ref().expect("body").stmts[0]
+        else {
+            panic!("match")
+        };
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[0].0, vec!["v".to_string()]);
+    }
+
+    #[test]
+    fn parses_compound_assignment() {
+        let f = parse("fn f() { let mut acc = 0.0; acc += x; }");
+        let fd = only_fn(&f);
+        let Stmt::Expr(Expr::Assign { op, .. }) = &fd.body.as_ref().expect("body").stmts[1]
+        else {
+            panic!("assign")
+        };
+        assert_eq!(op.as_deref(), Some("+"));
+    }
+
+    #[test]
+    fn tolerates_exotic_items_without_losing_following_fns() {
+        let f = parse(
+            "enum E { A, B(u32) }\ntrait T { fn default_method(&self) {} }\nconst X: u32 = 3;\nfn after() {}",
+        );
+        let mut names = Vec::new();
+        visit_fns(&f.items, &mut |_, fd, _| names.push(fd.name.clone()));
+        assert!(names.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn parses_let_else_without_derailing() {
+        let f = parse("fn f(o: Option<u32>) -> u32 { let Some(v) = o else { return 0; }; v }");
+        let fd = only_fn(&f);
+        let Stmt::Let { names, .. } = &fd.body.as_ref().expect("body").stmts[0] else {
+            panic!("let")
+        };
+        assert_eq!(names, &["v"]);
+        assert_eq!(fd.body.as_ref().expect("body").stmts.len(), 2);
+    }
+}

@@ -1,0 +1,277 @@
+//! Workspace symbol table: every struct and function across the
+//! parsed files, indexed for call resolution.
+//!
+//! Method resolution is heuristic (there is no trait solver): a method
+//! call resolves when the receiver's type is known and an impl of that
+//! type defines the method, or — as a fallback — when the method name
+//! is workspace-unique and not a common std name. Unresolved calls
+//! simply produce no call-graph edge; all downstream analyses treat a
+//! missing edge as "no flow", keeping parser/typing gaps conservative.
+
+use crate::parser::{FnDef, Item, ParsedFile, StructDef};
+use crate::ty::Ty;
+use std::collections::HashMap;
+
+/// Method names too common for the unique-name fallback: resolving
+/// `x.get(..)` to some workspace `get` by name alone would be wrong
+/// far more often than right.
+const COMMON_METHODS: [&str; 24] = [
+    "new", "default", "len", "is_empty", "iter", "into_iter", "get", "insert", "remove", "push",
+    "pop", "clear", "clone", "contains", "next", "extend", "from", "into", "as_ref", "as_mut",
+    "write", "read", "lock", "id",
+];
+
+/// One function known to the workspace.
+pub struct FnInfo<'a> {
+    /// Index of the defining file in [`Symbols::files`].
+    pub file: usize,
+    /// Impl type name for methods, `None` for free functions.
+    pub owner: Option<&'a str>,
+    /// The parsed definition.
+    pub def: &'a FnDef,
+    /// `true` for `#[test]` fns or fns in `#[cfg(test)]` scopes.
+    pub is_test: bool,
+    /// Parsed parameter types, in order (receivers get the owner type).
+    pub param_tys: Vec<Ty>,
+    /// Parsed return type (`Unknown` for `()`).
+    pub ret_ty: Ty,
+}
+
+impl FnInfo<'_> {
+    /// `path:line` label for diagnostics.
+    pub fn site(&self, files: &[ParsedFile]) -> String {
+        format!("{}:{}", files[self.file].path, self.def.line)
+    }
+
+    /// `Type::name` or bare `name`.
+    pub fn qual_name(&self) -> String {
+        match self.owner {
+            Some(t) => format!("{t}::{}", self.def.name),
+            None => self.def.name.clone(),
+        }
+    }
+}
+
+/// The workspace symbol table.
+pub struct Symbols<'a> {
+    /// The parsed files, in audit order.
+    pub files: &'a [ParsedFile],
+    /// Every function, test or not.
+    pub fns: Vec<FnInfo<'a>>,
+    /// Struct definitions by type name (first definition wins).
+    pub structs: HashMap<&'a str, &'a StructDef>,
+    /// `(owner type, method name)` → fn index.
+    pub by_owner: HashMap<(String, String), usize>,
+    /// Free functions by name.
+    pub free_by_name: HashMap<&'a str, Vec<usize>>,
+    /// Methods by bare name (for the unique-name fallback).
+    pub methods_by_name: HashMap<&'a str, Vec<usize>>,
+}
+
+impl<'a> Symbols<'a> {
+    /// Index the parsed files.
+    pub fn build(files: &'a [ParsedFile]) -> Symbols<'a> {
+        let mut sym = Symbols {
+            files,
+            fns: Vec::new(),
+            structs: HashMap::new(),
+            by_owner: HashMap::new(),
+            free_by_name: HashMap::new(),
+            methods_by_name: HashMap::new(),
+        };
+        for (fi, file) in files.iter().enumerate() {
+            index_items(&mut sym, fi, &file.items, false);
+        }
+        // Resolve receiver parameter types now that owners are known.
+        for ix in 0..sym.fns.len() {
+            let owner = sym.fns[ix].owner.map(str::to_string);
+            let mut tys = Vec::with_capacity(sym.fns[ix].def.params.len());
+            for p in &sym.fns[ix].def.params {
+                if p.name == "self" && p.ty.is_empty() {
+                    tys.push(owner.as_deref().map_or(Ty::Unknown, Ty::named));
+                } else {
+                    tys.push(Ty::parse(&p.ty));
+                }
+            }
+            let ret = match sym.fns[ix].def.ret_ty.as_deref() {
+                None => Ty::Unknown,
+                Some(t) => {
+                    let ty = Ty::parse(t);
+                    // `-> Self` means the impl type.
+                    if ty.head() == Some("Self") {
+                        owner.as_deref().map_or(Ty::Unknown, Ty::named)
+                    } else {
+                        ty
+                    }
+                }
+            };
+            sym.fns[ix].param_tys = tys;
+            sym.fns[ix].ret_ty = ret;
+        }
+        sym
+    }
+
+    /// Resolve a path call `a::b::name(..)`.
+    pub fn resolve_call(&self, segs: &[String]) -> Option<usize> {
+        let name = segs.last()?;
+        if segs.len() >= 2 {
+            let qualifier = &segs[segs.len() - 2];
+            if qualifier.chars().next().is_some_and(char::is_uppercase) {
+                // `Type::method` associated call.
+                return self
+                    .by_owner
+                    .get(&(qualifier.clone(), name.clone()))
+                    .copied();
+            }
+            // `module::free_fn` — fall through to free lookup.
+        }
+        match self.free_by_name.get(name.as_str()) {
+            Some(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    }
+
+    /// Resolve `recv.method(..)` given the receiver's inferred type.
+    pub fn resolve_method(&self, recv_ty: &Ty, method: &str) -> Option<usize> {
+        if let Some(head) = recv_ty.peeled().head() {
+            if let Some(&ix) = self.by_owner.get(&(head.to_string(), method.to_string())) {
+                return Some(ix);
+            }
+            // A known receiver type that simply doesn't define the
+            // method: don't fall back to name matching — it's a std
+            // or shim method we model (or ignore) structurally.
+            if self.structs.contains_key(head) {
+                return None;
+            }
+        }
+        if COMMON_METHODS.contains(&method) {
+            return None;
+        }
+        match self.methods_by_name.get(method) {
+            Some(v) if v.len() == 1 && !self.free_by_name.contains_key(method) => Some(v[0]),
+            _ => None,
+        }
+    }
+
+    /// Field type of `type_head.field`, if the struct is known.
+    pub fn field_ty(&self, type_head: &str, field: &str) -> Ty {
+        let Some(sd) = self.structs.get(type_head) else {
+            return Ty::Unknown;
+        };
+        for (name, ty) in &sd.fields {
+            if name == field {
+                return Ty::parse(ty);
+            }
+        }
+        Ty::Unknown
+    }
+}
+
+fn index_items<'a>(sym: &mut Symbols<'a>, fi: usize, items: &'a [Item], in_test: bool) {
+    for item in items {
+        match item {
+            Item::Fn(fd) => {
+                let ix = push_fn(sym, fi, None, fd, in_test);
+                sym.free_by_name.entry(&fd.name).or_default().push(ix);
+            }
+            Item::Struct(sd) => {
+                sym.structs.entry(&sd.name).or_insert(sd);
+            }
+            Item::Impl(imp) => {
+                for fd in &imp.fns {
+                    let ix = push_fn(sym, fi, Some(&imp.type_name), fd, in_test || imp.cfg_test);
+                    sym.by_owner
+                        .entry((imp.type_name.clone(), fd.name.clone()))
+                        .or_insert(ix);
+                    sym.methods_by_name.entry(&fd.name).or_default().push(ix);
+                }
+            }
+            Item::Mod(m) => index_items(sym, fi, &m.items, in_test || m.cfg_test),
+            _ => {}
+        }
+    }
+}
+
+fn push_fn<'a>(
+    sym: &mut Symbols<'a>,
+    fi: usize,
+    owner: Option<&'a str>,
+    fd: &'a FnDef,
+    in_test: bool,
+) -> usize {
+    sym.fns.push(FnInfo {
+        file: fi,
+        owner,
+        def: fd,
+        is_test: fd.is_test || in_test,
+        param_tys: Vec::new(),
+        ret_ty: Ty::Unknown,
+    });
+    sym.fns.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use crate::tokenizer::tokenize;
+
+    fn build(srcs: &[(&str, &str)]) -> Vec<ParsedFile> {
+        srcs.iter()
+            .map(|(path, src)| parse_file(path, "test", &tokenize(src)))
+            .collect()
+    }
+
+    #[test]
+    fn resolves_methods_by_owner() {
+        let files = build(&[(
+            "a.rs",
+            "pub struct Store { map: FxHashMap<u32, f64> }\n\
+             impl Store { pub fn total(&self) -> f64 { 0.0 } }",
+        )]);
+        let sym = Symbols::build(&files);
+        let ix = sym
+            .resolve_method(&Ty::named("Store"), "total")
+            .expect("resolved");
+        assert_eq!(sym.fns[ix].qual_name(), "Store::total");
+        assert!(sym.fns[ix].ret_ty.is_float());
+        assert_eq!(sym.fns[ix].param_tys[0].head(), Some("Store"));
+    }
+
+    #[test]
+    fn unique_name_fallback_skips_common_methods() {
+        let files = build(&[(
+            "a.rs",
+            "impl Foo { pub fn exotic_helper(&self) {} pub fn get(&self) {} }",
+        )]);
+        let sym = Symbols::build(&files);
+        assert!(sym.resolve_method(&Ty::Unknown, "exotic_helper").is_some());
+        assert!(sym.resolve_method(&Ty::Unknown, "get").is_none());
+    }
+
+    #[test]
+    fn resolves_associated_and_free_calls() {
+        let files = build(&[(
+            "a.rs",
+            "pub fn helper() -> u32 { 3 }\nimpl Foo { pub fn new() -> Self { Foo } }",
+        )]);
+        let sym = Symbols::build(&files);
+        let segs = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(sym.resolve_call(&segs(&["helper"])).is_some());
+        assert!(sym.resolve_call(&segs(&["Foo", "new"])).is_some());
+        assert!(sym.resolve_call(&segs(&["Foo", "missing"])).is_none());
+        let new_ix = sym.resolve_call(&segs(&["Foo", "new"])).expect("new");
+        assert_eq!(sym.fns[new_ix].ret_ty.head(), Some("Foo"));
+    }
+
+    #[test]
+    fn field_types_resolve_through_structs() {
+        let files = build(&[(
+            "a.rs",
+            "pub struct S { pub weights: FxHashMap<TermId, f64> }",
+        )]);
+        let sym = Symbols::build(&files);
+        assert!(sym.field_ty("S", "weights").is_unordered_container());
+        assert_eq!(sym.field_ty("S", "missing"), Ty::Unknown);
+    }
+}

@@ -1,0 +1,443 @@
+//! A miniature structural type model for the audit passes.
+//!
+//! Types are parsed from the *text* the parser captured (field
+//! annotations, parameter and return types, casts, turbofish) into a
+//! small tree: named types with generic arguments, tuples, and
+//! `Unknown`. The model answers the questions the analyses ask —
+//! "is this an unordered container?", "what does iterating it yield?",
+//! "what does `.values()` return?" — and degrades to `Unknown`
+//! anywhere the answer isn't clear. `Unknown` never classifies as
+//! unordered, a lock, or a float, so typing gaps weaken the audit
+//! conservatively instead of producing false findings.
+
+/// A structural type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ty {
+    /// A named type with top-level generic arguments
+    /// (`FxHashMap<TermId, f64>` → head `FxHashMap`, two args).
+    Named {
+        /// Final path segment, generics stripped.
+        head: String,
+        /// Top-level generic arguments.
+        args: Vec<Ty>,
+    },
+    /// A tuple type.
+    Tuple(Vec<Ty>),
+    /// Anything unparseable or unresolvable.
+    Unknown,
+}
+
+/// Transparent wrappers peeled before classification.
+const WRAPPERS: [&str; 10] = [
+    "Arc",
+    "Rc",
+    "Box",
+    "Ref",
+    "RefMut",
+    "MutexGuard",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+    "ManuallyDrop",
+    "Pin",
+];
+
+/// Hash-ordered containers: iteration order is an implementation
+/// detail, never a contract — the audit's primary taint source.
+const UNORDERED: [&str; 4] = ["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
+
+/// Order-defining containers: collecting into one erases sequence
+/// order (the canonical cleanser). `TripleStore` is BTreeSet-backed.
+const ORDERED_TARGETS: [&str; 3] = ["BTreeMap", "BTreeSet", "TripleStore"];
+
+impl Ty {
+    /// A named type without generic arguments.
+    pub fn named(head: &str) -> Ty {
+        Ty::Named {
+            head: head.to_string(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Parse a type from captured source text.
+    pub fn parse(text: &str) -> Ty {
+        let mut p = TyParser {
+            chars: text.chars().collect(),
+            pos: 0,
+        };
+        p.parse_ty()
+    }
+
+    /// The head identifier, if named.
+    pub fn head(&self) -> Option<&str> {
+        match self {
+            Ty::Named { head, .. } => Some(head.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Peel transparent wrappers (`Arc<Mutex<T>>` → `Mutex<T>`).
+    pub fn peeled(&self) -> &Ty {
+        let mut ty = self;
+        loop {
+            match ty {
+                Ty::Named { head, args }
+                    if WRAPPERS.contains(&head.as_str()) && args.len() == 1 =>
+                {
+                    ty = &args[0];
+                }
+                _ => return ty,
+            }
+        }
+    }
+
+    /// `true` for hash-ordered maps/sets (after peeling wrappers).
+    pub fn is_unordered_container(&self) -> bool {
+        self.peeled()
+            .head()
+            .is_some_and(|h| UNORDERED.contains(&h))
+    }
+
+    /// `true` for containers whose `collect` target erases order.
+    pub fn is_ordered_collect_target(&self) -> bool {
+        self.peeled()
+            .head()
+            .is_some_and(|h| ORDERED_TARGETS.contains(&h))
+    }
+
+    /// `true` for `Mutex`/`RwLock` (after peeling `Arc` etc.).
+    pub fn is_lock(&self) -> bool {
+        self.peeled()
+            .head()
+            .is_some_and(|h| h == "Mutex" || h == "RwLock")
+    }
+
+    /// `true` for floating-point types.
+    pub fn is_float(&self) -> bool {
+        self.peeled()
+            .head()
+            .is_some_and(|h| h == "f64" || h == "f32")
+    }
+
+    /// What one iteration step yields (`for x in <ty>` / `.iter()`).
+    pub fn element(&self) -> Ty {
+        let ty = self.peeled();
+        let Ty::Named { head, args } = ty else {
+            return Ty::Unknown;
+        };
+        match head.as_str() {
+            "FxHashMap" | "HashMap" | "BTreeMap" if args.len() == 2 => {
+                Ty::Tuple(vec![args[0].clone(), args[1].clone()])
+            }
+            "FxHashSet" | "HashSet" | "BTreeSet" | "Vec" | "VecDeque" | "BinaryHeap"
+            | "Option" | "Iterator" | "Slice" => args.first().cloned().unwrap_or(Ty::Unknown),
+            "TripleStore" => Ty::named("Triple"),
+            _ => Ty::Unknown,
+        }
+    }
+
+    /// The first generic argument (`Option<T>` / `Vec<T>` → `T`).
+    pub fn arg0(&self) -> Ty {
+        match self.peeled() {
+            Ty::Named { args, .. } => args.first().cloned().unwrap_or(Ty::Unknown),
+            _ => Ty::Unknown,
+        }
+    }
+
+    /// The second generic argument (`Map<K, V>` → `V`).
+    pub fn arg1(&self) -> Ty {
+        match self.peeled() {
+            Ty::Named { args, .. } => args.get(1).cloned().unwrap_or(Ty::Unknown),
+            _ => Ty::Unknown,
+        }
+    }
+
+    /// Wrap as an iterator yielding `elem`.
+    pub fn iterator_of(elem: Ty) -> Ty {
+        Ty::Named {
+            head: "Iterator".to_string(),
+            args: vec![elem],
+        }
+    }
+
+    /// Tuple field access for destructuring (`(k, v)` patterns).
+    pub fn tuple_field(&self, ix: usize) -> Ty {
+        match self.peeled() {
+            Ty::Tuple(items) => items.get(ix).cloned().unwrap_or(Ty::Unknown),
+            _ => Ty::Unknown,
+        }
+    }
+}
+
+struct TyParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl TyParser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(char::is_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prefixes(&mut self) {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('&') | Some('*') => {
+                    self.pos += 1;
+                    continue;
+                }
+                Some('\'') => {
+                    // Lifetime.
+                    self.pos += 1;
+                    while self
+                        .peek()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    {
+                        self.pos += 1;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            let rest: String = self.chars[self.pos..]
+                .iter()
+                .take(6)
+                .collect();
+            let eaten = if rest.starts_with("mut ")
+                || rest.starts_with("mut&")
+                || rest.starts_with("dyn ")
+            {
+                3
+            } else if rest.starts_with("impl ") || rest.starts_with("impl\t") {
+                4
+            } else if rest.starts_with("const ") {
+                5
+            } else {
+                break;
+            };
+            self.pos += eaten;
+        }
+    }
+
+    fn parse_ty(&mut self) -> Ty {
+        self.skip_prefixes();
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        None | Some(')') => {
+                            if self.peek().is_some() {
+                                self.pos += 1;
+                            }
+                            break;
+                        }
+                        Some(',') => {
+                            self.pos += 1;
+                            continue;
+                        }
+                        _ => items.push(self.parse_ty()),
+                    }
+                }
+                if items.len() == 1 {
+                    items.into_iter().next().unwrap_or(Ty::Unknown)
+                } else {
+                    Ty::Tuple(items)
+                }
+            }
+            Some('[') => {
+                // Slice/array: `[T]` / `[T; N]` → element container.
+                self.pos += 1;
+                let elem = self.parse_ty();
+                while self.peek().is_some_and(|c| c != ']') {
+                    self.pos += 1;
+                }
+                if self.peek() == Some(']') {
+                    self.pos += 1;
+                }
+                Ty::Named {
+                    head: "Slice".to_string(),
+                    args: vec![elem],
+                }
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => self.parse_path_ty(),
+            _ => {
+                // Unparseable: consume one char so callers can't loop.
+                if self.peek().is_some() {
+                    self.pos += 1;
+                }
+                Ty::Unknown
+            }
+        }
+    }
+
+    fn parse_path_ty(&mut self) -> Ty {
+        let mut head;
+        loop {
+            let mut seg = String::new();
+            while self
+                .peek()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                seg.push(self.chars[self.pos]);
+                self.pos += 1;
+            }
+            head = seg;
+            self.skip_ws();
+            if self.peek() == Some(':')
+                && self.chars.get(self.pos + 1) == Some(&':')
+            {
+                self.pos += 2;
+                self.skip_ws();
+                continue;
+            }
+            break;
+        }
+        let mut args = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('<') {
+            self.pos += 1;
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    None | Some('>') => {
+                        if self.peek().is_some() {
+                            self.pos += 1;
+                        }
+                        break;
+                    }
+                    Some(',') => {
+                        self.pos += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+                // Associated-type form `Item = T`.
+                let mark = self.pos;
+                let mut name = String::new();
+                while self
+                    .peek()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    name.push(self.chars[self.pos]);
+                    self.pos += 1;
+                }
+                self.skip_ws();
+                if !name.is_empty() && self.peek() == Some('=') {
+                    self.pos += 1;
+                    args.push(self.parse_ty());
+                } else {
+                    self.pos = mark;
+                    let before = self.pos;
+                    args.push(self.parse_ty());
+                    if self.pos == before {
+                        self.pos += 1; // safety: always progress
+                    }
+                }
+                // Skip any trailing bound syntax (`+ Send`).
+                while self.peek().is_some_and(|c| c != ',' && c != '>') {
+                    if self.peek() == Some('<') {
+                        // Nested generics in a bound: balance them.
+                        let mut depth = 0i32;
+                        while let Some(c) = self.peek() {
+                            if c == '<' {
+                                depth += 1;
+                            } else if c == '>' {
+                                depth -= 1;
+                                if depth == 0 {
+                                    self.pos += 1;
+                                    break;
+                                }
+                            }
+                            self.pos += 1;
+                        }
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        if head.is_empty() {
+            return Ty::Unknown;
+        }
+        // `impl Iterator<Item = T>` parses here with head `Iterator`.
+        Ty::Named { head, args }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_map_with_args() {
+        let ty = Ty::parse("FxHashMap<TermId, f64>");
+        assert_eq!(ty.head(), Some("FxHashMap"));
+        assert!(ty.is_unordered_container());
+        assert_eq!(ty.element(), Ty::Tuple(vec![Ty::named("TermId"), Ty::named("f64")]));
+        assert!(ty.arg1().is_float());
+    }
+
+    #[test]
+    fn peels_refs_and_wrappers() {
+        let ty = Ty::parse("&'a Arc<Mutex<Vec<u8>>>");
+        assert!(ty.peeled().is_lock());
+        assert_eq!(ty.peeled().arg0().head(), Some("Vec"));
+    }
+
+    #[test]
+    fn nested_map_value_type() {
+        let ty = Ty::parse("FxHashMap<TermId, FxHashMap<(TermId, TermId), u64>>");
+        let inner = ty.arg1();
+        assert!(inner.is_unordered_container());
+        assert_eq!(
+            inner.element(),
+            Ty::Tuple(vec![
+                Ty::Tuple(vec![Ty::named("TermId"), Ty::named("TermId")]),
+                Ty::named("u64")
+            ])
+        );
+    }
+
+    #[test]
+    fn impl_iterator_item() {
+        let ty = Ty::parse("impl Iterator<Item = ((TermId, TermId), u64)> + '_");
+        assert_eq!(ty.head(), Some("Iterator"));
+        let elem = ty.element();
+        assert_eq!(elem.tuple_field(1), Ty::named("u64"));
+    }
+
+    #[test]
+    fn ordered_targets() {
+        assert!(Ty::parse("BTreeMap<u32, u32>").is_ordered_collect_target());
+        assert!(Ty::parse("TripleStore").is_ordered_collect_target());
+        assert!(!Ty::parse("Vec<u32>").is_ordered_collect_target());
+        assert!(!Ty::parse("FxHashMap<u32, u32>").is_ordered_collect_target());
+    }
+
+    #[test]
+    fn slice_and_tuple() {
+        let ty = Ty::parse("&[f64]");
+        assert!(ty.element().is_float());
+        let tup = Ty::parse("(TermId, f64)");
+        assert!(tup.tuple_field(1).is_float());
+    }
+
+    #[test]
+    fn unknown_is_inert() {
+        let ty = Ty::parse("");
+        assert_eq!(ty, Ty::Unknown);
+        assert!(!ty.is_unordered_container());
+        assert!(!ty.is_lock());
+        assert!(!ty.is_float());
+    }
+}

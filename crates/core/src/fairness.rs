@@ -131,10 +131,12 @@ pub fn select_for_group(
                         GroupAggregation::LeastMisery => {
                             column.iter().copied().fold(f64::INFINITY, f64::min)
                         }
-                        GroupAggregation::MostPleasure => {
+                        // FairProportional is handled by the outer
+                        // match; folding it into MostPleasure keeps
+                        // this arm total without a panicking fallback.
+                        GroupAggregation::MostPleasure | GroupAggregation::FairProportional => {
                             column.iter().copied().fold(f64::NEG_INFINITY, f64::max)
                         }
-                        GroupAggregation::FairProportional => unreachable!(),
                     };
                     (i, score)
                 })

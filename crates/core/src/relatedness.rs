@@ -39,10 +39,13 @@ impl ExpandedProfile {
     /// the profile's interests. Falls back to the raw interests when the
     /// profile has no seed overlapping the graph.
     pub fn expand(profile: &UserProfile, graph: &SchemaGraph, config: PageRankConfig) -> Self {
-        let seeds: Vec<(u32, f64)> = profile
+        let mut seeds: Vec<(u32, f64)> = profile
             .interests()
             .filter_map(|(term, w)| graph.node_of(term).map(|node| (node, w)))
             .collect();
+        // Interests come out of a hash map; fix the order so the
+        // PageRank mass sums are bit-identical across runs.
+        seeds.sort_unstable_by_key(|&(node, _)| node);
         if seeds.is_empty() {
             let weights: FxHashMap<TermId, f64> = profile.interests().collect();
             let max_weight = weights.values().copied().fold(0.0, f64::max);

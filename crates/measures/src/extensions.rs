@@ -24,9 +24,14 @@ use evorec_kb::{FxHashMap, SchemaView, TermId};
 /// Per-property semantic importance: the total relative-cardinality mass
 /// the property carries across all class pairs.
 fn property_importance(view: &SchemaView, property: TermId) -> f64 {
-    view.property_pairs(property)
+    // Pairs stream out of a hash map; sum in a fixed order so the
+    // importance mass is bit-identical across runs.
+    let mut masses: Vec<f64> = view
+        .property_pairs(property)
         .map(|((cs, co), _)| view.relative_cardinality(property, cs, co))
-        .sum()
+        .collect();
+    masses.sort_unstable_by(f64::total_cmp);
+    masses.iter().sum()
 }
 
 /// |importance_V2(p) − importance_V1(p)| per property (§II(d) extended

@@ -142,33 +142,33 @@ impl MeasureRegistry {
         if heavy.len() < 2 || ctx.graph_union.node_count() < PARALLEL_NODE_THRESHOLD {
             return indexes.iter().map(|&ix| self.measures[ix].compute(ctx)).collect();
         }
-        let mut slots: Vec<Option<MeasureReport>> = (0..indexes.len()).map(|_| None).collect();
+        let spawn_set = &heavy[..heavy.len() - 1];
+        let mut done: Vec<(usize, MeasureReport)> = Vec::with_capacity(indexes.len());
         std::thread::scope(|scope| {
             // Spawn every heavy measure but the last; that one and all
             // the cheap measures run on the calling thread while the
-            // workers are busy.
-            let spawned: Vec<(usize, _)> = heavy[..heavy.len() - 1]
+            // workers are busy. Keying everything by output slot means
+            // reassembly is a sort, with no partially-filled state.
+            let spawned: Vec<(usize, _)> = indexes
                 .iter()
-                .map(|&ix| (ix, scope.spawn(move || self.measures[ix].compute(ctx))))
+                .enumerate()
+                .filter(|(_, ix)| spawn_set.contains(ix))
+                .map(|(slot, &ix)| (slot, scope.spawn(move || self.measures[ix].compute(ctx))))
                 .collect();
             for (slot, &ix) in indexes.iter().enumerate() {
-                if !spawned.iter().any(|&(spawned_ix, _)| spawned_ix == ix) {
-                    slots[slot] = Some(self.measures[ix].compute(ctx));
+                if !spawn_set.contains(&ix) {
+                    done.push((slot, self.measures[ix].compute(ctx)));
                 }
             }
-            for (ix, handle) in spawned {
-                let report = handle.join().expect("measure worker panicked");
-                let slot = indexes
-                    .iter()
-                    .position(|&want| want == ix)
-                    .expect("spawned index came from `indexes`");
-                slots[slot] = Some(report);
+            for (slot, handle) in spawned {
+                match handle.join() {
+                    Ok(report) => done.push((slot, report)),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
-        slots
-            .into_iter()
-            .map(|r| r.expect("every requested measure computed"))
-            .collect()
+        done.sort_unstable_by_key(|&(slot, _)| slot);
+        done.into_iter().map(|(_, report)| report).collect()
     }
 
     /// Advance every report from a previous evolution window to `ctx`

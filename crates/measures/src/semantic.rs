@@ -36,13 +36,23 @@ pub struct CentralityVectors {
 impl CentralityVectors {
     /// Compute both vectors in one pass over the view's property links.
     pub fn compute(view: &SchemaView) -> CentralityVectors {
-        let mut vectors = CentralityVectors::default();
+        // Properties and pairs stream out of hash sets; accumulate the
+        // contributions in a fixed order so the float sums are
+        // bit-identical across runs.
+        let mut contributions: Vec<(TermId, TermId, f64)> = Vec::new();
         for &p in view.properties() {
             for ((cs, co), _count) in view.property_pairs(p) {
                 let rc = view.relative_cardinality(p, cs, co);
-                *vectors.out_centrality.entry(cs).or_insert(0.0) += rc;
-                *vectors.in_centrality.entry(co).or_insert(0.0) += rc;
+                contributions.push((cs, co, rc));
             }
+        }
+        contributions.sort_unstable_by(|a, b| {
+            (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2))
+        });
+        let mut vectors = CentralityVectors::default();
+        for (cs, co, rc) in contributions {
+            *vectors.out_centrality.entry(cs).or_insert(0.0) += rc;
+            *vectors.in_centrality.entry(co).or_insert(0.0) += rc;
         }
         vectors
     }
@@ -73,7 +83,9 @@ pub fn relevance_vector(view: &SchemaView) -> FxHashMap<TermId, f64> {
     let mut out = FxHashMap::default();
     for &class in view.classes() {
         let own = weighted(class);
-        let neighbours: Vec<TermId> = view.adjacent_classes(class).collect();
+        let mut neighbours: Vec<TermId> = view.adjacent_classes(class).collect();
+        // Adjacency streams out of a hash set; sum in a fixed order.
+        neighbours.sort_unstable();
         let neighbour_mean = if neighbours.is_empty() {
             0.0
         } else {

@@ -14,15 +14,15 @@ use evorec_kb::TermId;
 /// two common terms exist. O(n log n) via merge-sort inversion counting.
 pub fn kendall_tau(a: &MeasureReport, b: &MeasureReport) -> Option<f64> {
     let common = common_terms(a, b);
-    let n = common.len();
-    if n < 2 {
-        return None;
-    }
     // Order common terms by a's rank, then count inversions in b's ranks.
     let mut pairs: Vec<(usize, usize)> = common
         .iter()
-        .map(|&t| (a.rank_of(t).expect("common"), b.rank_of(t).expect("common")))
+        .filter_map(|&t| Some((a.rank_of(t)?, b.rank_of(t)?)))
         .collect();
+    let n = pairs.len();
+    if n < 2 {
+        return None;
+    }
     pairs.sort_unstable_by_key(|&(ra, _)| ra);
     let mut b_ranks: Vec<usize> = pairs.into_iter().map(|(_, rb)| rb).collect();
     let inversions = count_inversions(&mut b_ranks);

@@ -17,6 +17,7 @@ use crate::store::{ProfileStore, ProfileStoreOptions, ProfileStoreStats};
 use crate::worker::{AdaptStats, AdaptWorker, FeedbackLog};
 use evorec_core::{Recommendation, UserId, UserProfile};
 use evorec_measures::MeasureId;
+use evorec_obs::{span, SpanHandle, Tracer};
 use evorec_stream::{BoundedLog, EpochCommit, EpochSink, LogClosed};
 use evorec_versioning::VersionedStore;
 use evorec_windows::WindowedRecommender;
@@ -39,6 +40,14 @@ pub struct AdaptiveOptions {
     pub exploration_weight: f64,
     /// Profile-store shape (shards, feedback loop, decay).
     pub store: ProfileStoreOptions,
+    /// Span tracer threaded through the whole serve-observe-update
+    /// loop: each serving becomes a `serve` root span with the engine's
+    /// `cache_probe`/`measure_compute`/`mmr_boost` stages beneath it,
+    /// and the worker times its `feedback_apply` batches. Tracing
+    /// observes timing only — servings are bit-identical with the
+    /// tracer on or off. `None` (the default) is the zero-cost
+    /// disabled mode.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl Default for AdaptiveOptions {
@@ -49,6 +58,7 @@ impl Default for AdaptiveOptions {
             policy: Arc::new(NoExploration),
             exploration_weight: 0.25,
             store: ProfileStoreOptions::default(),
+            tracer: None,
         }
     }
 }
@@ -78,6 +88,7 @@ pub struct AdaptiveRecommender {
     policy: Arc<dyn ExplorationPolicy>,
     weight: f64,
     catalogue: Vec<MeasureId>,
+    tracer: Option<Arc<Tracer>>,
     serves: AtomicU64,
     explored: AtomicU64,
 }
@@ -94,11 +105,12 @@ impl AdaptiveRecommender {
         store.seed(profiles);
         let book = Arc::new(BanditBook::new());
         let log: Arc<FeedbackLog> = Arc::new(BoundedLog::bounded(options.feedback_capacity));
-        let worker = AdaptWorker::spawn(
+        let worker = AdaptWorker::spawn_observed(
             Arc::clone(&log),
             Arc::clone(&store),
             Arc::clone(&book),
             options.max_batch,
+            options.tracer.clone(),
         );
         let catalogue = served.recommender().registry().ids();
         AdaptiveRecommender {
@@ -110,6 +122,7 @@ impl AdaptiveRecommender {
             policy: options.policy,
             weight: options.exploration_weight.max(0.0),
             catalogue,
+            tracer: options.tracer,
             serves: AtomicU64::new(0),
             explored: AtomicU64::new(0),
         }
@@ -136,8 +149,11 @@ impl AdaptiveRecommender {
             .unwrap_or_else(|| Arc::new(UserProfile::new(user, user.to_string())));
         let serve_ix = self.serves.fetch_add(1, Ordering::Relaxed);
         let recommender = self.served.recommender();
+        let tracer = self.tracer.as_deref();
+        let serve_span = span(tracer, "serve", SpanHandle::NONE);
+        let serve_handle = serve_span.handle();
         if self.weight == 0.0 || !self.policy.is_active() {
-            return Some(recommender.recommend(&ctx, &profile));
+            return Some(recommender.recommend_observed(&ctx, &profile, None, tracer, serve_handle));
         }
         let bonuses = self
             .book
@@ -145,11 +161,11 @@ impl AdaptiveRecommender {
         if bonuses.is_empty() {
             // Nothing to blend (e.g. an exploit round over a cold
             // ledger): take — and count — the plain path.
-            return Some(recommender.recommend(&ctx, &profile));
+            return Some(recommender.recommend_observed(&ctx, &profile, None, tracer, serve_handle));
         }
         self.explored.fetch_add(1, Ordering::Relaxed);
         let boost = ExplorationBoost::new(bonuses, self.weight);
-        Some(recommender.recommend_with_boost(&ctx, &profile, Some(&boost)))
+        Some(recommender.recommend_observed(&ctx, &profile, Some(&boost), tracer, serve_handle))
     }
 
     /// Enqueue one curator reaction (blocking under backpressure). The
@@ -243,6 +259,84 @@ impl AdaptiveRecommender {
 impl EpochSink for AdaptiveRecommender {
     fn on_epoch(&self, _store: &VersionedStore, _commit: &EpochCommit) {
         self.advance_epoch();
+    }
+}
+
+impl evorec_obs::MetricsSource for AdaptiveRecommender {
+    /// Pull-model metrics: the whole subsystem's counters sampled at
+    /// snapshot time, with per-measure bandit arms broken out under a
+    /// `measure` label.
+    fn collect(&self, out: &mut Vec<evorec_obs::Sample>) {
+        let stats = self.stats();
+        out.push(evorec_obs::Sample::counter(
+            "evorec_adapt_serves_total",
+            stats.serves,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_adapt_explored_serves_total",
+            stats.explored_serves,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_adapt_feedback_events_total",
+            stats.worker.events,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_adapt_feedback_batches_total",
+            stats.worker.batches,
+        ));
+        for (name, count) in [
+            ("accept", stats.worker.accepts),
+            ("dwell", stats.worker.dwells),
+            ("dismiss", stats.worker.dismisses),
+            ("reject", stats.worker.rejects),
+        ] {
+            out.push(
+                evorec_obs::Sample::counter("evorec_adapt_reactions_total", count)
+                    .with_label("reaction", name),
+            );
+        }
+        out.push(evorec_obs::Sample::counter(
+            "evorec_adapt_profile_updates_total",
+            stats.store.updates,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_adapt_profile_decay_epochs_total",
+            stats.store.decay_epochs,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_adapt_profiles_auto_created_total",
+            stats.store.auto_created,
+        ));
+        out.push(evorec_obs::Sample::gauge(
+            "evorec_adapt_profiles",
+            self.store.len() as u64,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_adapt_bandit_observations_total",
+            stats.observations,
+        ));
+        self.book.with_stats(|arms| {
+            let mut ordered: Vec<_> = arms.iter().collect();
+            ordered.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+            for (measure, arm) in ordered {
+                out.push(
+                    evorec_obs::Sample::counter("evorec_adapt_arm_exposures_total", arm.exposures)
+                        .with_label("measure", measure.as_str()),
+                );
+                out.push(
+                    evorec_obs::Sample::gauge_f64("evorec_adapt_arm_reward", arm.reward)
+                        .with_label("measure", measure.as_str()),
+                );
+                out.push(
+                    evorec_obs::Sample::counter("evorec_adapt_arm_accepts_total", arm.accepts)
+                        .with_label("measure", measure.as_str()),
+                );
+                out.push(
+                    evorec_obs::Sample::counter("evorec_adapt_arm_rejects_total", arm.rejects)
+                        .with_label("measure", measure.as_str()),
+                );
+            }
+        });
     }
 }
 

@@ -13,6 +13,7 @@ use crate::event::FeedbackEvent;
 use crate::store::ProfileStore;
 use evorec_core::{FeedbackSignal, Item, UserId};
 use evorec_kb::FxHashMap;
+use evorec_obs::{span, SpanHandle, Tracer};
 use evorec_stream::BoundedLog;
 use sched::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use sched::sync::{Condvar, Mutex};
@@ -77,6 +78,19 @@ impl AdaptWorker {
         book: Arc<BanditBook>,
         max_batch: usize,
     ) -> AdaptWorker {
+        AdaptWorker::spawn_observed(log, store, book, max_batch, None)
+    }
+
+    /// [`spawn`](AdaptWorker::spawn) with span context: each applied
+    /// micro-batch is timed as one `feedback_apply` root span. `None`
+    /// is the zero-cost disabled mode.
+    pub fn spawn_observed(
+        log: Arc<FeedbackLog>,
+        store: Arc<ProfileStore>,
+        book: Arc<BanditBook>,
+        max_batch: usize,
+        tracer: Option<Arc<Tracer>>,
+    ) -> AdaptWorker {
         let max_batch = max_batch.max(1);
         let progress = Arc::new(Progress::default());
         let counters = Arc::new(Counters {
@@ -110,6 +124,7 @@ impl AdaptWorker {
                         return;
                     }
                     counters.batches.fetch_add(1, Ordering::Relaxed);
+                    let apply_span = span(tracer.as_deref(), "feedback_apply", SpanHandle::NONE);
                     let applied = batch.len() as u64;
                     // One copy-on-write pass per user per micro-batch:
                     // the ledger and tallies are folded per event, the
@@ -137,6 +152,7 @@ impl AdaptWorker {
                     for (user, events) in per_user {
                         store.apply_batch(user, events.iter().map(|(i, s)| (i, *s)));
                     }
+                    apply_span.finish();
                     let mut done = progress.applied.lock();
                     *done += applied;
                     progress.cond.notify_all();

@@ -20,7 +20,7 @@ use std::path::{Path, PathBuf};
 const SKIP_DIRS: [&str; 4] = ["target", ".git", ".github", ".claude"];
 
 /// Hot-path crates: `hot-path-panic` applies to their `src/` trees.
-const HOT_PATH_CRATES: [&str; 5] = ["core", "stream", "windows", "adapt", "kb"];
+const HOT_PATH_CRATES: [&str; 6] = ["core", "stream", "windows", "adapt", "kb", "obs"];
 
 fn main() {
     std::process::exit(run());

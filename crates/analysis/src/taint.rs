@@ -17,7 +17,12 @@
 //! floating-point accumulation over an Order-tainted sequence is
 //! *promoted* to Value (float addition is not associative, so the sum's
 //! bits depend on iteration order). Value taint survives sorting — no
-//! reordering can undo it.
+//! reordering can undo it. The `evorec-obs` recording surface
+//! (`Tracer`, `SpanGuard`, `Histogram` and friends) is a registered
+//! *cleanser*: the tracer clock's reads terminate in the metrics plane
+//! (histograms, the trace ring) and the handles it returns are
+//! sequence ids, so obs-typed calls carry no taint out — see
+//! `is_obs_plane` below.
 //!
 //! **Sinks** are the replay surface: fingerprint construction
 //! (Order-sensitive), `LiveContext`/lineage publishes (Order), codec
@@ -276,6 +281,32 @@ fn is_full_cleanse(name: &str) -> bool {
 /// total comparators, so every sort is order-erasing).
 fn is_sort(name: &str) -> bool {
     name == "sort" || name.starts_with("sort_by") || name.starts_with("sort_unstable")
+}
+
+/// The observability plane (`evorec-obs`) is *terminal* for
+/// nondeterministic values — a registered cleanser, not a source.
+/// Span timings read from the tracer clock land in latency histograms
+/// and the bounded trace ring and are only ever rendered; they never
+/// feed back into fingerprints, publishes, codecs or rankings. The
+/// `SpanHandle`s that do come back out of the recording surface are
+/// atomic-counter sequence ids, not clock values. Cleansing at the
+/// type boundary (instead of letting `Tracer::start`'s internal
+/// `Instant::now` read taint every caller through its summary) keeps
+/// the audit precise: a real wall-clock leak into a sink still fires,
+/// because the cleanse is scoped to the obs types.
+fn is_obs_plane(head: Option<&str>) -> bool {
+    matches!(
+        head,
+        Some("Tracer")
+            | Some("SpanGuard")
+            | Some("SpanHandle")
+            | Some("Histogram")
+            | Some("HistogramSnapshot")
+            | Some("MetricsRegistry")
+            | Some("MetricsSnapshot")
+            | Some("MonotonicClock")
+            | Some("LogicalClock")
+    )
 }
 
 /// Keyed containers erase insertion order (deterministically for the
@@ -962,6 +993,16 @@ impl Fx<'_, '_> {
         if name == "current" && callee.contains(&"thread".to_string()) {
             return Taint::src("thread identity", &self.site(line), Level::Value);
         }
+        // Cleanser: the free `span(tracer, name, parent)` helper and
+        // obs-type associated constructors (`Tracer::monotonic`,
+        // `SpanGuard::disabled`, …) are the terminal metrics plane —
+        // see `is_obs_plane`.
+        if name == "span" && !args.is_empty()
+            || callee.len() >= 2
+                && is_obs_plane(callee.get(callee.len() - 2).map(String::as_str))
+        {
+            return Taint::default();
+        }
         // Sinks by name.
         if let Some((rule, min)) = call_sink(name) {
             let mut joined = Taint::default();
@@ -1035,6 +1076,15 @@ impl Fx<'_, '_> {
             } else {
                 arg_taints.push(self.eval_expr(a, None));
             }
+        }
+
+        // Cleanser: any method on an obs-plane receiver (`Tracer`,
+        // `SpanGuard`, `Histogram`, …) returns untainted data — span
+        // timings stay in the metrics plane and handles are sequence
+        // ids, so the clock read inside `Tracer::start` never leaks
+        // Value taint into callers through its summary.
+        if is_obs_plane(recv_ty.peeled().head()) {
+            return Taint::default();
         }
 
         // Sinks: named calls and hasher writes.

@@ -197,6 +197,47 @@ fn cleanser_commutative_fold_vs_float_accumulation() {
     assert_pair(&tainted, &clean, "taint-into-fingerprint");
 }
 
+#[test]
+fn cleanser_obs_recording_surface() {
+    // Same shape on both sides: a clock read inside a `start` method
+    // whose result flows into a publish. The only difference is the
+    // receiver type — `Stamper` is ordinary workspace code (the clock
+    // taint must fire), `Tracer`/`SpanGuard` are the obs recording
+    // surface, registered as a cleanser: its timings terminate in the
+    // metrics plane and its handles are sequence ids, not clock values.
+    let tainted = [src(
+        "crates/stream/src/o.rs",
+        "pub struct Stamper { pub seq: u64 }\n\
+         impl Stamper {\n\
+             pub fn start(&self, parent: u64) -> u64 {\n\
+                 let t = Instant::now();\n\
+                 t\n\
+             }\n\
+         }\n\
+         pub fn commit(s: &Stamper, live: &LiveContext) {\n\
+             let handle = s.start(0);\n\
+             live.publish(handle);\n\
+         }",
+    )];
+    let clean = [src(
+        "crates/stream/src/o.rs",
+        "pub struct SpanGuard { pub id: u64, pub start: u64 }\n\
+         pub struct Tracer { pub seq: u64 }\n\
+         impl Tracer {\n\
+             pub fn start(&self, parent: u64) -> SpanGuard {\n\
+                 let t = Instant::now();\n\
+                 SpanGuard { id: parent, start: t }\n\
+             }\n\
+         }\n\
+         pub fn commit(tracer: &Tracer, live: &LiveContext) {\n\
+             let guard = tracer.start(0);\n\
+             let handle = guard.handle();\n\
+             live.publish(handle);\n\
+         }",
+    )];
+    assert_pair(&tainted, &clean, "taint-into-publish");
+}
+
 // ---- multi-hop evidence -------------------------------------------------
 
 #[test]

@@ -1,0 +1,86 @@
+//! Observability overhead smoke bench: the warm `recommend` path with
+//! tracing disabled vs fully enabled.
+//!
+//! The acceptance bar is the *disabled* side — `tracer: None` must be
+//! zero-cost (an `Option` check per stage, no allocation, no clock
+//! reads), so `recommend_disabled_tracer` has to land within noise of
+//! the plain `recommend_warm` path benchmarked in `recommender.rs`.
+//! The enabled side quantifies what full span tracing costs per warm
+//! request (a handful of clock reads + lock-free histogram records).
+//! Plus the primitive costs underneath: `Histogram::record` and a
+//! start/finish span round-trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evorec_core::{Recommender, RecommenderConfig, ReportCache};
+use evorec_measures::{EvolutionContext, MeasureRegistry};
+use evorec_obs::{Histogram, SpanHandle, Tracer};
+use evorec_synth::workload::curated_kb;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let world = curated_kb(200, 58);
+    let store = &world.kb.store;
+    let (base, head) = (world.base(), world.head());
+    let cache = Arc::new(ReportCache::new());
+    let recommender = Recommender::with_cache(
+        MeasureRegistry::standard(),
+        RecommenderConfig::default(),
+        Arc::clone(&cache),
+    );
+    let profile = world.population.profiles[0].clone();
+    let ctx = EvolutionContext::build(store, base, head);
+    // Prime the cache: both sides serve the identical warm path.
+    let _ = recommender.recommend(&ctx, &profile);
+    let tracer = Tracer::monotonic();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    group.bench_function("recommend_disabled_tracer", |b| {
+        b.iter(|| {
+            black_box(recommender.recommend_observed(
+                black_box(&ctx),
+                black_box(&profile),
+                None,
+                None,
+                SpanHandle::NONE,
+            ))
+        })
+    });
+    group.bench_function("recommend_enabled_tracer", |b| {
+        b.iter(|| {
+            black_box(recommender.recommend_observed(
+                black_box(&ctx),
+                black_box(&profile),
+                None,
+                Some(&tracer),
+                SpanHandle::NONE,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+    let histogram = Histogram::new();
+    group.bench_function("histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(2654435761).wrapping_rem(1 << 30);
+            histogram.record(black_box(v));
+        })
+    });
+    let tracer = Tracer::monotonic();
+    group.bench_function("span_start_finish", |b| {
+        b.iter(|| {
+            let guard = tracer.start("bench_stage", SpanHandle::NONE);
+            black_box(guard.handle());
+            guard.finish();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracing_overhead, bench_primitives);
+criterion_main!(benches);

@@ -29,10 +29,13 @@ use evorec_kb::{FxHashMap, FxHasher};
 use evorec_measures::{
     ContextFingerprint, EvolutionContext, MeasureId, MeasureRegistry, MeasureReport,
 };
-use parking_lot::RwLock;
+// `sched` primitives (std delegation normally, interposable under
+// `--cfg evorec_sched`) so the lineage-counter consistency protocol is
+// checkable by the deterministic interleaving harness.
+use sched::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use sched::sync::RwLock;
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Default shard count; enough that a handful of serving threads rarely
@@ -333,8 +336,7 @@ impl ReportCache {
         let found = self.shard_of(&key).read().map.get(&key).cloned();
         match found {
             Some(report) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.credit_lineage_hit(fingerprint);
+                self.credit_hit(fingerprint);
                 Some(report)
             }
             None => {
@@ -409,14 +411,25 @@ impl ReportCache {
         self.lineages.read().get(lineage.0).and_then(|s| s.claimed)
     }
 
-    /// Credit a report-level hit on `fingerprint` to every lineage
-    /// currently claiming it. No-op (one relaxed load) while no lineage
-    /// is registered, so single-consumer setups pay nothing.
-    fn credit_lineage_hit(&self, fingerprint: ContextFingerprint) {
+    /// Count a report-level hit: the global tally, plus a credit to
+    /// every lineage currently claiming `fingerprint`. While no lineage
+    /// is registered the fast path is one relaxed load and one
+    /// `fetch_add`, so single-consumer setups pay nothing.
+    ///
+    /// With lineages registered, the global bump and every lineage
+    /// credit happen under one hold of the lineages read lock — and
+    /// [`stats`](ReportCache::stats) snapshots under the *write* lock —
+    /// so no snapshot can observe a hit credited to lineage A but not
+    /// to co-claiming lineage B, or counted globally but missing from
+    /// its lineages (the double-/under-count this replaced).
+    fn credit_hit(&self, fingerprint: ContextFingerprint) {
         if !self.has_lineages.load(Ordering::Acquire) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        for state in self.lineages.read().iter() {
+        let guard = self.lineages.read();
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        for state in guard.iter() {
             if state.claimed == Some(fingerprint) {
                 state.hits.fetch_add(1, Ordering::Relaxed);
             }
@@ -594,8 +607,18 @@ impl ReportCache {
     }
 
     /// Cumulative counters since construction (or the last
-    /// [`reset_stats`](ReportCache::reset_stats)).
+    /// [`reset_stats`](ReportCache::reset_stats)), as one consistent
+    /// snapshot.
+    ///
+    /// The lineages **write** lock is held across every load: it
+    /// excludes both in-flight hit credits (which run under the read
+    /// lock, see `credit_hit`) and lineage
+    /// publishes (which hold the write lock across the eviction and
+    /// both invalidation tallies), so the snapshot never shows a hit or
+    /// invalidation split across the global and per-lineage counters.
+    /// Pinned by the `sched_cache` interleaving models.
     pub fn stats(&self) -> CacheStats {
+        let lineages = self.lineages.write();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -603,9 +626,7 @@ impl ReportCache {
             derived_misses: self.derived_misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            lineages: self
-                .lineages
-                .read()
+            lineages: lineages
                 .iter()
                 .map(|s| LineageStats {
                     label: s.label.clone(),
@@ -628,6 +649,61 @@ impl ReportCache {
         for state in self.lineages.read().iter() {
             state.hits.store(0, Ordering::Relaxed);
             state.invalidations.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Export the cache counters under `evorec_cache_*`, with per-lineage
+/// hit/invalidation tallies labelled `lineage="<label>"`. Pull-model:
+/// samples are read from the (consistent) [`ReportCache::stats`]
+/// snapshot at scrape time, so nothing is double-counted.
+impl evorec_obs::MetricsSource for ReportCache {
+    fn collect(&self, out: &mut Vec<evorec_obs::Sample>) {
+        let stats = self.stats();
+        out.push(evorec_obs::Sample::counter(
+            "evorec_cache_hits_total",
+            stats.hits,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_cache_misses_total",
+            stats.misses,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_cache_derived_hits_total",
+            stats.derived_hits,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_cache_derived_misses_total",
+            stats.derived_misses,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_cache_evictions_total",
+            stats.evictions,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_cache_invalidations_total",
+            stats.invalidations,
+        ));
+        out.push(evorec_obs::Sample::gauge(
+            "evorec_cache_entries",
+            self.len() as u64,
+        ));
+        out.push(evorec_obs::Sample::gauge(
+            "evorec_cache_derived_entries",
+            self.derived_len() as u64,
+        ));
+        for lineage in &stats.lineages {
+            out.push(
+                evorec_obs::Sample::counter("evorec_cache_lineage_hits_total", lineage.hits)
+                    .with_label("lineage", &lineage.label),
+            );
+            out.push(
+                evorec_obs::Sample::counter(
+                    "evorec_cache_lineage_invalidations_total",
+                    lineage.invalidations,
+                )
+                .with_label("lineage", &lineage.label),
+            );
         }
     }
 }

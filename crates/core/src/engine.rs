@@ -15,6 +15,7 @@ use crate::relatedness::{
 use evorec_graph::PageRankConfig;
 use evorec_kb::FxHashMap;
 use evorec_measures::{EvolutionContext, MeasureId, MeasureRegistry, MeasureReport};
+use evorec_obs::{span, SpanHandle, Tracer};
 use std::sync::Arc;
 
 /// Tunables of the recommendation pipeline.
@@ -183,14 +184,32 @@ impl Recommender {
     /// context fingerprint and the deriving configuration), built fresh
     /// otherwise.
     fn derived(&self, ctx: &EvolutionContext) -> Arc<DerivedArtefacts> {
+        self.derived_observed(ctx, None, SpanHandle::NONE)
+    }
+
+    /// [`derived`](Recommender::derived) with span instrumentation:
+    /// `cache_probe` brackets the second-level lookup, and — only when
+    /// the probe misses — `measure_compute` brackets the full
+    /// candidate/report/distance build inside it.
+    fn derived_observed(
+        &self,
+        ctx: &EvolutionContext,
+        tracer: Option<&Tracer>,
+        parent: SpanHandle,
+    ) -> Arc<DerivedArtefacts> {
+        let probe = span(tracer, "cache_probe", parent);
+        let probe_handle = probe.handle();
         let build = || {
+            let compute = span(tracer, "measure_compute", probe_handle);
             let (items, reports) = self.candidates(ctx);
-            DerivedArtefacts::new(
+            let artefacts = DerivedArtefacts::new(
                 items,
                 reports,
                 self.config.rank_k_for_distance,
                 self.config.distance_weights,
-            )
+            );
+            compute.finish();
+            artefacts
         };
         match &self.cache {
             Some(cache) => cache.derived_or_insert(
@@ -327,7 +346,24 @@ impl Recommender {
         profile: &UserProfile,
         boost: Option<&dyn ScoreBoost>,
     ) -> Recommendation {
-        let derived = self.derived(ctx);
+        self.recommend_observed(ctx, profile, boost, None, SpanHandle::NONE)
+    }
+
+    /// [`recommend_with_boost`](Recommender::recommend_with_boost) with
+    /// span instrumentation: children `cache_probe`, `measure_compute`
+    /// (cold only), and `mmr_boost` are opened under `parent`. Tracing
+    /// observes timing only — the scoring path is byte-for-byte the
+    /// untraced one, so serving output is bit-identical with the tracer
+    /// on, off, or absent.
+    pub fn recommend_observed(
+        &self,
+        ctx: &EvolutionContext,
+        profile: &UserProfile,
+        boost: Option<&dyn ScoreBoost>,
+        tracer: Option<&Tracer>,
+        parent: SpanHandle,
+    ) -> Recommendation {
+        let derived = self.derived_observed(ctx, tracer, parent);
         if derived.items.is_empty() {
             return Recommendation {
                 items: Vec::new(),
@@ -335,7 +371,11 @@ impl Recommender {
                 cache_stats: self.cache_snapshot(),
             };
         }
-        self.select_for_profile(ctx, profile, &derived.items, derived.distances(), boost)
+        let mmr = span(tracer, "mmr_boost", parent);
+        let recommendation =
+            self.select_for_profile(ctx, profile, &derived.items, derived.distances(), boost);
+        mmr.finish();
+        recommendation
     }
 
     /// Answer many profiles against one context: the candidate pool and

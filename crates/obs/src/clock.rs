@@ -1,0 +1,115 @@
+//! Pluggable time sources.
+//!
+//! Instrumentation must never become a determinism leak: the audit
+//! treats wall-clock reads as value-level taint, and the `--cfg
+//! evorec_sched` harness forbids real time entirely (a clock read would
+//! make interleaving outcomes schedule-dependent). So every timing
+//! consumer in this crate reads through [`Clock`]: production wires a
+//! [`MonotonicClock`], tests and sched models wire a [`LogicalClock`]
+//! whose only source of progress is explicit [`LogicalClock::tick`]
+//! calls.
+
+use sched::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond source.
+///
+/// Implementations must be non-decreasing per clock instance; nothing
+/// here requires cross-instance comparability.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds elapsed since this clock's origin.
+    fn now_nanos(&self) -> u64;
+}
+
+impl Clock for Arc<dyn Clock> {
+    fn now_nanos(&self) -> u64 {
+        (**self).now_nanos()
+    }
+}
+
+/// Wall time: nanoseconds since construction, via [`Instant`].
+///
+/// The readings are observability-only values — they feed histograms
+/// and span records, never fingerprints, deltas, or scores (the audit's
+/// taint analysis enforces exactly that boundary).
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose zero is "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> MonotonicClock {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        let elapsed = self.origin.elapsed();
+        elapsed
+            .as_secs()
+            .saturating_mul(1_000_000_000)
+            .saturating_add(u64::from(elapsed.subsec_nanos()))
+    }
+}
+
+/// Deterministic time: advances only when told to.
+///
+/// `now_nanos` returns the cumulative ticks, so a test that never calls
+/// [`tick`](LogicalClock::tick) sees every span take exactly zero
+/// nanoseconds — and, crucially, sees the *same* zero on every
+/// schedule the sched harness explores.
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    ticks: AtomicU64,
+}
+
+impl LogicalClock {
+    /// A clock at zero.
+    pub fn new() -> LogicalClock {
+        LogicalClock::default()
+    }
+
+    /// Advance by `nanos`, returning the new reading.
+    pub fn tick(&self, nanos: u64) -> u64 {
+        self.ticks.fetch_add(nanos, Ordering::AcqRel) + nanos
+    }
+}
+
+impl Clock for LogicalClock {
+    fn now_nanos(&self) -> u64 {
+        self.ticks.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_is_non_decreasing() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn logical_advances_only_on_tick() {
+        let clock = LogicalClock::new();
+        assert_eq!(clock.now_nanos(), 0);
+        assert_eq!(clock.tick(5), 5);
+        assert_eq!(clock.tick(7), 12);
+        assert_eq!(clock.now_nanos(), 12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Histogram correctness: bucket geometry at the boundaries, and a
+//! property-based error bound on the quantile estimator.
+
+use evorec_obs::{bucket_bounds, bucket_index, Histogram, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+/// Power-of-two boundaries are where log-bucket schemes go wrong:
+/// check every edge of every octave up to 2^20 lands in a bucket whose
+/// bounds contain it, and that the bucket edges themselves are exact.
+#[test]
+fn octave_boundaries_land_inside_their_buckets() {
+    for exp in 4..=20u32 {
+        let base = 1u64 << exp;
+        for v in [base - 1, base, base + 1] {
+            let (low, high) = bucket_bounds(bucket_index(v));
+            assert!(low <= v && v <= high, "{v} outside [{low}, {high}]");
+        }
+        // An octave's first bucket starts exactly at the power of two.
+        let (low, _) = bucket_bounds(bucket_index(base));
+        assert_eq!(low, base, "octave 2^{exp} must open a bucket");
+    }
+}
+
+/// The extremes of the value line.
+#[test]
+fn extreme_values_are_representable() {
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    let (_, high) = bucket_bounds(HISTOGRAM_BUCKETS - 1);
+    assert_eq!(high, u64::MAX);
+    let h = Histogram::new();
+    h.record(0);
+    h.record(u64::MAX);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 2);
+    assert_eq!(snap.max, u64::MAX);
+    assert_eq!(snap.quantile(0.0), 0);
+    // The top estimate is clamped to the observed max.
+    assert_eq!(snap.quantile(1.0), u64::MAX);
+}
+
+/// Bucket index is monotone in the value: a histogram can never rank
+/// a smaller sample above a larger one.
+#[test]
+fn bucket_index_is_monotone() {
+    let mut last = 0usize;
+    let mut v = 0u64;
+    while v < (1 << 24) {
+        let i = bucket_index(v);
+        assert!(i >= last, "index regressed at {v}");
+        last = i;
+        v += 97; // prime stride: hits every sub-bucket eventually
+    }
+}
+
+proptest! {
+    /// Quantile estimates stay within the documented error bound of a
+    /// true (sorted-data) quantile: exact for samples below 16, within
+    /// 12.5% relative error above.
+    #[test]
+    fn quantile_error_is_bounded(
+        samples in prop::collection::vec(0u64..1_000_000, 1..200),
+        q_mille in 0u64..=1000,
+    ) {
+        let q = q_mille as f64 / 1000.0;
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let truth = sorted[(rank - 1) as usize];
+        let estimate = h.quantile(q);
+        if truth < 16 {
+            prop_assert_eq!(estimate, truth);
+        } else {
+            let bound = truth / 8 + 1; // 12.5%, integer-rounded up
+            let err = estimate.abs_diff(truth);
+            prop_assert!(
+                err <= bound,
+                "q={} truth={} estimate={} err={} bound={}",
+                q, truth, estimate, err, bound
+            );
+        }
+    }
+
+    /// Count/sum/max always agree with the recorded data when reads
+    /// are quiescent.
+    #[test]
+    fn snapshot_totals_match_input(samples in prop::collection::vec(0u64..10_000, 0..100)) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.total(), samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.max, samples.iter().copied().max().unwrap_or(0));
+    }
+}

@@ -1,0 +1,90 @@
+//! Interleaving models of the lock-free histogram record path: under
+//! `--cfg evorec_sched` the harness enumerates bounded schedules of
+//! concurrent `record()` calls, proving no interleaving loses a sample
+//! or tears a bucket; under the default build the same closures run
+//! once as concurrency smoke tests.
+//!
+//! A snapshot reads the full 256-bucket array — hundreds of scheduling
+//! points under the harness — so the models bound preemptions to keep
+//! exploration tractable while still covering every record/record and
+//! record/snapshot race window.
+
+use evorec_obs::{bucket_index, Histogram};
+use std::sync::Arc;
+
+fn bounded() -> sched::Builder {
+    sched::Builder {
+        preemption_bound: Some(2),
+        ..Default::default()
+    }
+}
+
+/// Two racing recorders: after both join, every sample is present in
+/// exactly one bucket and the count/sum/max all balance — in every
+/// explored interleaving.
+#[test]
+fn concurrent_record_never_loses_a_sample() {
+    let report = bounded().explore(|| {
+        let hist = Arc::new(Histogram::new());
+        let a = {
+            let hist = Arc::clone(&hist);
+            sched::thread::spawn(move || hist.record(3))
+        };
+        let b = {
+            let hist = Arc::clone(&hist);
+            sched::thread::spawn(move || hist.record(100))
+        };
+        a.join().unwrap();
+        b.join().unwrap();
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 2, "no record may be lost");
+        assert_eq!(snap.total(), 2, "buckets hold exactly the samples");
+        assert_eq!(snap.buckets[bucket_index(3)], 1);
+        assert_eq!(snap.buckets[bucket_index(100)], 1);
+        assert_eq!(snap.sum, 103);
+        assert_eq!(snap.max, 100);
+    });
+    assert!(report.schedules >= 1);
+    if cfg!(evorec_sched) {
+        assert!(report.schedules > 1, "the race has multiple interleavings");
+    }
+}
+
+/// A snapshot racing a recorder is always coherent: the bucket total
+/// covers at least the published count (buckets run ahead of the
+/// count, never behind), and once the recorder joins the totals are
+/// exact.
+#[test]
+fn snapshot_racing_record_is_coherent() {
+    let report = bounded().explore(|| {
+        let hist = Arc::new(Histogram::new());
+        hist.record(7);
+        let writer = {
+            let hist = Arc::clone(&hist);
+            sched::thread::spawn(move || hist.record(20))
+        };
+        let reader = {
+            let hist = Arc::clone(&hist);
+            sched::thread::spawn(move || hist.snapshot())
+        };
+        let mid = reader.join().unwrap();
+        writer.join().unwrap();
+        // Mid-race coherence: count never exceeds what the buckets hold.
+        assert!(mid.count >= 1 && mid.count <= 2);
+        assert!(
+            mid.total() >= mid.count,
+            "published count ({}) must be covered by buckets ({})",
+            mid.count,
+            mid.total()
+        );
+        // Quiescent exactness.
+        let end = hist.snapshot();
+        assert_eq!(end.count, 2);
+        assert_eq!(end.total(), 2);
+        assert_eq!(end.sum, 27);
+    });
+    assert!(report.schedules >= 1);
+    if cfg!(evorec_sched) {
+        assert!(report.schedules > 1);
+    }
+}

@@ -55,6 +55,31 @@ pub struct IngestStats {
     pub epochs: u64,
 }
 
+impl evorec_obs::MetricsSource for IngestStats {
+    /// `IngestStats` is a `Copy` point-in-time snapshot (the live
+    /// [`Ingestor`] is owned by the pipeline's worker thread), so
+    /// register one *after* shutdown to fold the final ingest counters
+    /// into a unified snapshot.
+    fn collect(&self, out: &mut Vec<evorec_obs::Sample>) {
+        out.push(evorec_obs::Sample::counter(
+            "evorec_stream_ingest_events_total",
+            self.events,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_stream_ingest_coalesced_total",
+            self.coalesced,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_stream_ingest_no_ops_total",
+            self.no_ops,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_stream_ingest_epochs_total",
+            self.epochs,
+        ));
+    }
+}
+
 /// The result of one epoch commit.
 #[derive(Clone, Debug)]
 pub struct EpochCommit {

@@ -180,6 +180,26 @@ impl LiveContext {
     }
 }
 
+impl evorec_obs::MetricsSource for LiveContext {
+    /// Pull-model metrics: the epoch counter and the live window's
+    /// span, sampled at snapshot time.
+    fn collect(&self, out: &mut Vec<evorec_obs::Sample>) {
+        out.push(evorec_obs::Sample::counter(
+            "evorec_stream_epochs_total",
+            self.epoch(),
+        ));
+        let ctx = self.current();
+        out.push(evorec_obs::Sample::gauge(
+            "evorec_stream_live_origin_version",
+            u64::from(ctx.from.as_u32()),
+        ));
+        out.push(evorec_obs::Sample::gauge(
+            "evorec_stream_live_head_version",
+            u64::from(ctx.to.as_u32()),
+        ));
+    }
+}
+
 impl Drop for LiveContext {
     fn drop(&mut self) {
         self.join_warm();

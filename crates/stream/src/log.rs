@@ -209,6 +209,44 @@ impl<T> BoundedLog<T> {
     }
 }
 
+impl<T: Send> evorec_obs::MetricsSource for BoundedLog<T> {
+    /// Pull-model metrics: counters are sampled from [`LogStats`] at
+    /// snapshot time, so registering a log with a
+    /// [`MetricsRegistry`](evorec_obs::MetricsRegistry) adds no work to
+    /// the push/pop hot path.
+    fn collect(&self, out: &mut Vec<evorec_obs::Sample>) {
+        let stats = self.stats();
+        out.push(evorec_obs::Sample::counter(
+            "evorec_stream_log_enqueued_total",
+            stats.enqueued,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_stream_log_dequeued_total",
+            stats.dequeued,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_stream_log_producer_waits_total",
+            stats.producer_waits,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_stream_log_consumer_waits_total",
+            stats.consumer_waits,
+        ));
+        out.push(evorec_obs::Sample::gauge(
+            "evorec_stream_log_high_water",
+            stats.high_water as u64,
+        ));
+        out.push(evorec_obs::Sample::gauge(
+            "evorec_stream_log_depth",
+            self.len() as u64,
+        ));
+        out.push(evorec_obs::Sample::gauge(
+            "evorec_stream_log_capacity",
+            self.capacity as u64,
+        ));
+    }
+}
+
 impl<T> std::fmt::Debug for BoundedLog<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let state = self.lock();
@@ -285,7 +323,13 @@ mod tests {
                 log.push(ev(2)).unwrap();
             })
         };
-        // Give the producer a chance to block, then drain.
+        // Wait until the producer is observably blocked (no sleeps —
+        // the stats counter ticks before the condvar wait), then
+        // drain; otherwise a fast drain could make room before the
+        // producer ever has to wait.
+        while log.stats().producer_waits == 0 {
+            std::thread::yield_now();
+        }
         let mut drained = Vec::new();
         while drained.len() < 3 {
             drained.extend(log.pop_batch(1));

@@ -17,6 +17,7 @@ use crate::live::LiveContext;
 use crate::log::EventLog;
 use evorec_core::ReportCache;
 use evorec_measures::{EvolutionContext, MeasureRegistry};
+use evorec_obs::{span, SpanHandle, Tracer};
 use evorec_versioning::{LowLevelDelta, VersionId, VersionedStore};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -39,6 +40,23 @@ use std::thread::JoinHandle;
 pub trait EpochSink: Send + Sync {
     /// Called once per committed epoch, in commit order.
     fn on_epoch(&self, store: &VersionedStore, commit: &EpochCommit);
+
+    /// [`on_epoch`](EpochSink::on_epoch) with span context: `parent`
+    /// is the pipeline's `epoch_commit` span, so a sink that times its
+    /// own stages (e.g. the window manager's `window_advance`) can
+    /// attach them to the per-epoch breakdown. The default forwards to
+    /// `on_epoch`, ignoring the tracer — existing sinks keep working
+    /// unchanged.
+    fn on_epoch_observed(
+        &self,
+        store: &VersionedStore,
+        commit: &EpochCommit,
+        tracer: Option<&Tracer>,
+        parent: SpanHandle,
+    ) {
+        let _ = (tracer, parent);
+        self.on_epoch(store, commit);
+    }
 }
 
 /// Options of [`StreamPipeline::spawn`].
@@ -61,6 +79,11 @@ pub struct PipelineOptions {
     pub background_warm: bool,
     /// Epoch observers, called after every commit in commit order.
     pub sinks: Vec<Arc<dyn EpochSink>>,
+    /// Span tracer for the ingest worker: `ingest` and `epoch_commit`
+    /// spans per micro-batch, `publish` under the commit, and the
+    /// sinks' own stages beneath that. `None` (the default) is the
+    /// zero-cost disabled mode.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 /// A running ingestion pipeline. Dropping it without
@@ -113,8 +136,18 @@ impl StreamPipeline {
             let log = Arc::clone(&log);
             let live = Arc::clone(&live);
             let sinks = options.sinks;
+            let tracer = options.tracer;
             std::thread::spawn(move || {
-                ingest_loop(ingestor, &log, &live, origin, head, max_batch, &sinks)
+                ingest_loop(
+                    ingestor,
+                    &log,
+                    &live,
+                    origin,
+                    head,
+                    max_batch,
+                    &sinks,
+                    tracer.as_deref(),
+                )
             })
         };
         StreamPipeline {
@@ -169,6 +202,7 @@ impl Drop for StreamPipeline {
 
 /// The worker body: drain → ingest → commit/publish until the log is
 /// closed and empty, then flush whatever is still pending.
+#[allow(clippy::too_many_arguments)]
 fn ingest_loop(
     mut ingestor: Ingestor,
     log: &EventLog,
@@ -177,6 +211,7 @@ fn ingest_loop(
     head: VersionId,
     max_batch: usize,
     sinks: &[Arc<dyn EpochSink>],
+    tracer: Option<&Tracer>,
 ) -> Ingestor {
     // The landmark composition `origin → head`, advanced by each
     // commit's epoch delta so rebuilding the published context never
@@ -187,9 +222,13 @@ fn ingest_loop(
     loop {
         let batch = log.pop_batch(max_batch);
         let drained = batch.is_empty();
-        ingestor.ingest_all(batch);
+        if !batch.is_empty() {
+            let ingest = span(tracer, "ingest", SpanHandle::NONE);
+            ingestor.ingest_all(batch);
+            ingest.finish();
+        }
         if drained || ingestor.pending_events() >= max_batch || log.is_empty() {
-            commit_and_publish(&mut ingestor, live, origin, &mut composed, sinks);
+            commit_and_publish(&mut ingestor, live, origin, &mut composed, sinks, tracer);
         }
         if drained {
             return ingestor;
@@ -203,17 +242,23 @@ fn commit_and_publish(
     origin: VersionId,
     composed: &mut LowLevelDelta,
     sinks: &[Arc<dyn EpochSink>],
+    tracer: Option<&Tracer>,
 ) {
     if let Some(commit) = ingestor.commit_epoch() {
+        let commit_span = span(tracer, "epoch_commit", SpanHandle::NONE);
+        let commit_handle = commit_span.handle();
         *composed = composed.compose(&commit.delta);
         let store = ingestor.store();
         let landmark = Arc::new(composed.normalise_against(store.snapshot(origin)));
         store.seed_delta(origin, commit.version, landmark);
         let ctx = Arc::new(EvolutionContext::build(store, origin, commit.version));
+        let publish = span(tracer, "publish", commit_handle);
         live.publish(ctx, Some(Arc::clone(&commit.delta)));
+        publish.finish();
         for sink in sinks {
-            sink.on_epoch(ingestor.store(), &commit);
+            sink.on_epoch_observed(ingestor.store(), &commit, tracer, commit_handle);
         }
+        commit_span.finish();
     }
 }
 
@@ -355,6 +400,37 @@ mod tests {
         assert_eq!(seen.len() as u64, ingestor.stats().epochs);
         assert_eq!(seen[0].0, ingestor.head().unwrap());
         assert_eq!(seen[0].1, 1, "one added triple in the epoch delta");
+    }
+
+    #[test]
+    fn tracer_breaks_down_epochs_into_stages() {
+        let (ingestor, _edge, typing) = seeded();
+        let (tracer, _clock) = evorec_obs::Tracer::logical();
+        let tracer = Arc::new(tracer);
+        let pipeline = StreamPipeline::spawn(
+            ingestor,
+            PipelineOptions {
+                tracer: Some(Arc::clone(&tracer)),
+                ..Default::default()
+            },
+        );
+        pipeline.send(ChangeEvent::assert(typing, "curator")).unwrap();
+        let ingestor = pipeline.shutdown();
+        let epochs = ingestor.stats().epochs;
+        assert!(epochs >= 1);
+        // Every committed epoch produced matched commit + publish
+        // spans; the ingest span fired for the non-empty batch.
+        let commit = tracer.stage("epoch_commit").expect("commit stage recorded");
+        assert_eq!(commit.snapshot().count, epochs);
+        let publish = tracer.stage("publish").expect("publish stage recorded");
+        assert_eq!(publish.snapshot().count, epochs);
+        let ingest = tracer.stage("ingest").expect("ingest stage recorded");
+        assert!(ingest.snapshot().count >= 1);
+        // The publish span nests under its epoch's commit span.
+        let trace = tracer.last_trace();
+        let root = trace.first().expect("a root span");
+        assert_eq!(root.name, "epoch_commit");
+        assert!(trace.iter().any(|s| s.name == "publish" && s.parent == root.id));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::spec::{WindowDef, WindowSpec};
 use evorec_core::ReportCache;
 use evorec_measures::{EvolutionContext, MeasureRegistry};
+use evorec_obs::{span, SpanHandle, Tracer};
 use evorec_stream::{EpochCommit, EpochSink, LiveContext};
 use evorec_versioning::{EpochEntry, EpochRing, LowLevelDelta, VersionId, VersionedStore};
 use parking_lot::Mutex;
@@ -296,6 +297,22 @@ impl WindowManager {
     /// last observed (epochs must arrive gap-free, in commit order,
     /// starting right after the history the manager was built over).
     pub fn advance(&self, store: &VersionedStore, commit: &EpochCommit) {
+        self.advance_observed(store, commit, None, SpanHandle::NONE);
+    }
+
+    /// [`advance`](WindowManager::advance) with span context: the whole
+    /// multi-window advance is timed as one `window_advance` span,
+    /// nested under `parent` (the pipeline's `epoch_commit` span when
+    /// driven as a sink). `tracer: None` is the zero-cost disabled
+    /// mode.
+    pub fn advance_observed(
+        &self,
+        store: &VersionedStore,
+        commit: &EpochCommit,
+        tracer: Option<&Tracer>,
+        parent: SpanHandle,
+    ) {
+        let advance_span = span(tracer, "window_advance", parent);
         assert!(
             commit.version.as_u32() > 0,
             "epoch commit {} does not extend a seeded history",
@@ -323,6 +340,7 @@ impl WindowManager {
                 self.advance_window(window, state, ring, store, commit, epoch_from, timestamp);
             self.publish_window(window, state, store, commit, epoch_from, origin_moved);
         }
+        advance_span.finish();
     }
 
     /// Move one window's bounds and composed delta for the new epoch.
@@ -453,6 +471,50 @@ impl WindowManager {
 impl EpochSink for WindowManager {
     fn on_epoch(&self, store: &VersionedStore, commit: &EpochCommit) {
         self.advance(store, commit);
+    }
+
+    fn on_epoch_observed(
+        &self,
+        store: &VersionedStore,
+        commit: &EpochCommit,
+        tracer: Option<&Tracer>,
+        parent: SpanHandle,
+    ) {
+        self.advance_observed(store, commit, tracer, parent);
+    }
+}
+
+impl evorec_obs::MetricsSource for WindowManager {
+    /// Pull-model metrics: [`WindowManagerStats`] plus each window's
+    /// current span bounds, sampled at snapshot time.
+    fn collect(&self, out: &mut Vec<evorec_obs::Sample>) {
+        let stats = self.stats();
+        out.push(evorec_obs::Sample::counter(
+            "evorec_windows_epochs_total",
+            stats.epochs,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_windows_publishes_total",
+            stats.publishes,
+        ));
+        out.push(evorec_obs::Sample::counter(
+            "evorec_windows_ring_fallbacks_total",
+            stats.ring_fallbacks,
+        ));
+        out.push(evorec_obs::Sample::gauge(
+            "evorec_windows_managed",
+            self.windows.len() as u64,
+        ));
+        let state = self.state.lock();
+        for (window, ws) in self.windows.iter().zip(state.windows.iter()) {
+            out.push(
+                evorec_obs::Sample::gauge(
+                    "evorec_windows_span_epochs",
+                    (ws.to.as_u32() - ws.from.as_u32()) as u64,
+                )
+                .with_label("window", &window.def.name),
+            );
+        }
     }
 }
 

@@ -16,6 +16,7 @@ use evorec::adapt::{
 };
 use evorec::core::{RecommenderConfig, ReportCache};
 use evorec::measures::MeasureRegistry;
+use evorec::obs::{trace_tree, MetricsSource, Tracer};
 use evorec::synth::workload::curated_kb;
 use evorec::synth::{replay_sessions, ReplayConfig};
 use evorec::windows::{
@@ -79,11 +80,16 @@ fn main() {
     ));
     let curator = world.population.profiles[0].clone();
     let curator_id = curator.id;
+    // The explicit loop runs fully observed: every serving becomes a
+    // `serve` span with the engine stages beneath it, and every applied
+    // feedback micro-batch a `feedback_apply` span.
+    let tracer = Arc::new(Tracer::monotonic());
     let adaptive = AdaptiveRecommender::new(
         Arc::clone(&served),
         [curator.clone()],
         AdaptiveOptions {
             policy: Arc::new(ThompsonBeta::new(3)),
+            tracer: Some(Arc::clone(&tracer)),
             ..Default::default()
         },
     );
@@ -116,24 +122,25 @@ fn main() {
             adaptive.profile(curator_id).unwrap().interest_mass()
         );
     }
-    println!("\nper-measure bandit ledger (exposures → mean reward):");
-    let book = adaptive.book();
-    for measure in adaptive.catalogue().to_vec() {
-        let stats = book.measure(&measure);
-        if stats.exposures > 0 {
-            println!(
-                "  {:32} {:3} → {:.2}",
-                measure.to_string(),
-                stats.exposures,
-                stats.acceptance()
-            );
-        }
+    // One snapshot covers the whole subsystem — serve counters,
+    // per-reaction tallies, per-measure bandit arms, and the tracer's
+    // per-stage latency summaries — rendered in Prometheus format
+    // instead of ad-hoc Debug prints.
+    let mut samples = Vec::new();
+    adaptive.collect(&mut samples);
+    tracer.collect(&mut samples);
+    samples.sort_by(|a, b| {
+        (&a.family, a.suffix, &a.labels).cmp(&(&b.family, b.suffix, &b.labels))
+    });
+    println!("\nadaptive subsystem snapshot (Prometheus exposition):");
+    for line in evorec::obs::render::prometheus(&samples).lines() {
+        println!("  {line}");
     }
-    let stats = adaptive.shutdown();
-    println!(
-        "\nsubsystem counters: {} serves ({} explored), {} reactions in {} micro-batches",
-        stats.serves, stats.explored_serves, stats.worker.events, stats.worker.batches
-    );
+    println!("\nlast serving, as a span tree:");
+    for line in trace_tree(&tracer.last_trace()).lines() {
+        println!("  {line}");
+    }
+    adaptive.shutdown();
 
     // -- 3. The determinism guarantee: with exploration off, the
     //       adaptive facade serves bit-identically to the plain

@@ -14,6 +14,7 @@
 
 use evorec::core::{RecommenderConfig, ReportCache, UserId, UserProfile};
 use evorec::measures::MeasureRegistry;
+use evorec::obs::{trace_tree, MetricsRegistry, MetricsSource, Tracer};
 use evorec::stream::{EpochSink, IngestorConfig, PipelineOptions, StreamPipeline};
 use evorec::synth::workload::curated_kb;
 use evorec::synth::workload::streamed::{replay, seeded_ingestor, stream_into};
@@ -49,14 +50,24 @@ fn main() {
             ..Default::default()
         },
     ));
+    // The unified observability layer: every stats-bearing component
+    // registers as a pull-model metrics source, and the pipeline runs
+    // with span tracing enabled end-to-end.
+    let metrics = MetricsRegistry::new();
+    let tracer = Arc::new(Tracer::monotonic());
+    metrics.register_source(Arc::clone(&cache) as Arc<dyn MetricsSource>);
+    metrics.register_source(Arc::clone(&manager) as Arc<dyn MetricsSource>);
+    metrics.register_source(Arc::clone(&tracer) as Arc<dyn MetricsSource>);
     let pipeline = StreamPipeline::spawn(
         ingestor,
         PipelineOptions {
             serving: Some((Arc::clone(&registry), Arc::clone(&cache))),
             sinks: vec![Arc::clone(&manager) as Arc<dyn EpochSink>],
+            tracer: Some(Arc::clone(&tracer)),
             ..Default::default()
         },
     );
+    metrics.register_source(Arc::clone(pipeline.live()) as Arc<dyn MetricsSource>);
     println!(
         "=== {} : {} classes, streaming {} events ===",
         world.name,
@@ -142,17 +153,26 @@ fn main() {
         }
     }
 
-    // -- 5. Shared-cache accounting: every window serves warm, under
-    //       its own lineage.
-    let stats = cache.stats();
-    println!(
-        "\nreport cache: {} hits / {} misses ({} invalidated on epoch swaps)",
-        stats.hits, stats.misses, stats.invalidations
-    );
-    for lineage in &stats.lineages {
-        println!(
-            "  lineage {:14} {:6} hits, {:5} invalidations",
-            lineage.label, lineage.hits, lineage.invalidations
-        );
+    // -- 5. The unified snapshot: one registry pull covers the cache
+    //       (per-lineage counters included), the window manager, the
+    //       live context, and the tracer's per-stage latency summaries
+    //       — rendered in Prometheus text exposition format.
+    let snapshot = metrics.snapshot();
+    println!("\nmetrics snapshot (Prometheus exposition):");
+    for line in snapshot.render_prometheus().lines() {
+        println!("  {line}");
+    }
+
+    // -- 6. The last committed epoch, as a span tree: where the time
+    //       went between ingest, commit, publish and window advance.
+    println!("\nlast epoch trace:");
+    for line in trace_tree(&tracer.last_trace()).lines() {
+        println!("  {line}");
+    }
+
+    // The same snapshot renders as JSON for machine consumers — CI
+    // uploads this as an artifact.
+    if std::env::args().any(|a| a == "--json") {
+        println!("\n{}", snapshot.render_json());
     }
 }

@@ -13,6 +13,7 @@
 
 use evorec::core::{Recommender, RecommenderConfig, ReportCache};
 use evorec::measures::MeasureRegistry;
+use evorec::obs::{MetricsRegistry, MetricsSource, Tracer};
 use evorec::stream::{IngestorConfig, PipelineOptions, StreamPipeline};
 use evorec::synth::workload::curated_kb;
 use evorec::synth::workload::streamed::{replay, seeded_ingestor};
@@ -33,14 +34,22 @@ fn main() {
             ..Default::default()
         },
     );
+    // Unified observability: the cache, the live context, and the
+    // pipeline's span tracer all report through one registry.
+    let metrics = MetricsRegistry::new();
+    let tracer = Arc::new(Tracer::monotonic());
+    metrics.register_source(Arc::clone(&cache) as Arc<dyn MetricsSource>);
+    metrics.register_source(Arc::clone(&tracer) as Arc<dyn MetricsSource>);
     let pipeline = StreamPipeline::spawn(
         ingestor,
         PipelineOptions {
             serving: Some((Arc::clone(&registry), Arc::clone(&cache))),
+            tracer: Some(Arc::clone(&tracer)),
             ..Default::default()
         },
     );
     let live = Arc::clone(pipeline.live());
+    metrics.register_source(Arc::clone(&live) as Arc<dyn MetricsSource>);
     println!(
         "pipeline up: origin {}, epoch {}",
         live.current().from,
@@ -106,15 +115,12 @@ fn main() {
     }
 
     let ingestor = pipeline.shutdown();
-    let stats = ingestor.stats();
-    println!(
-        "\nshutdown: {} events -> {} epochs ({} coalesced, {} no-ops), {} provenance records",
-        stats.events,
-        stats.epochs,
-        stats.coalesced,
-        stats.no_ops,
-        ingestor.ledger().len()
-    );
+    // Fold the final ingest counters in (the live ingestor belonged to
+    // the worker thread) and render the whole run as one unified
+    // snapshot instead of ad-hoc Debug prints.
+    metrics.register_source(Arc::new(ingestor.stats()) as Arc<dyn MetricsSource>);
+    println!("\nfinal metrics snapshot (JSON):");
+    println!("{}", metrics.snapshot().render_json());
     let head = ingestor.head().expect("epochs committed");
     assert_eq!(
         ingestor.store().snapshot(head),

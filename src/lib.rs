@@ -16,6 +16,7 @@
 //! | [`versioning`] | `evorec-versioning` | snapshots, deltas, change detection, provenance, archiving |
 //! | [`graph`] | `evorec-graph` | betweenness, bridging centrality, PPR |
 //! | [`measures`] | `evorec-measures` | the §II evolution-measure catalogue |
+//! | [`obs`] | `evorec-obs` | unified metrics registry + span tracing across the stack |
 //! | [`core`] | `evorec-core` | the §III recommender (this paper's contribution) |
 //! | [`stream`] | `evorec-stream` | streaming ingestion: event log, micro-batch epochs, live contexts |
 //! | [`windows`] | `evorec-windows` | multi-window temporal serving: one epoch stream, many live views |
@@ -49,6 +50,7 @@ pub use evorec_core as core;
 pub use evorec_graph as graph;
 pub use evorec_kb as kb;
 pub use evorec_measures as measures;
+pub use evorec_obs as obs;
 pub use evorec_stream as stream;
 pub use evorec_synth as synth;
 pub use evorec_versioning as versioning;

@@ -216,6 +216,68 @@ fn exploration_off_serves_bit_identical_to_windowed() {
     assert_eq!(stats.worker.events, first.items.len() as u64);
 }
 
+/// Acceptance: a fully enabled tracer observes timing only. With
+/// exploration off, every traced serving is bit-identical to the
+/// untraced [`WindowedRecommender`] answer — while the tracer really
+/// is recording the whole serve → cache probe → measure compute →
+/// MMR breakdown.
+#[test]
+fn tracing_enabled_serving_stays_bit_identical() {
+    let (served, profiles) = serving_stack(23);
+    let users: Vec<UserId> = profiles.iter().map(|p| p.id).collect();
+    let (tracer, _clock) = evorec::obs::Tracer::logical();
+    let tracer = Arc::new(tracer);
+    let adaptive = AdaptiveRecommender::new(
+        Arc::clone(&served),
+        profiles,
+        AdaptiveOptions {
+            policy: Arc::new(NoExploration),
+            tracer: Some(Arc::clone(&tracer)),
+            ..Default::default()
+        },
+    );
+    let mut serves = 0u64;
+    for window in ["all", "last"] {
+        for &user in &users {
+            let profile = adaptive.profile(user).expect("seeded");
+            let direct = served.recommend(window, &profile).expect("window exists");
+            let traced = adaptive.serve(window, user).expect("window exists");
+            serves += 1;
+            assert_eq!(detail(&direct), detail(&traced), "{window}/{user}");
+            assert_eq!(direct.candidates_considered, traced.candidates_considered);
+        }
+    }
+    // The tracer observed every serving and its engine stages …
+    let serve_stage = tracer.stage("serve").expect("serve spans recorded");
+    assert_eq!(serve_stage.snapshot().count, serves);
+    let probes = tracer.stage("cache_probe").expect("probe spans recorded");
+    assert_eq!(probes.snapshot().count, serves);
+    assert!(tracer.stage("mmr_boost").is_some(), "selection stage timed");
+    // … and the per-request breakdown nests under the serve root.
+    let trace = tracer.last_trace();
+    let root = trace.first().expect("a root span");
+    assert_eq!(root.name, "serve");
+    assert!(trace
+        .iter()
+        .any(|s| s.name == "cache_probe" && s.parent == root.id));
+    // The worker's feedback_apply stage is traced too.
+    let first = adaptive.serve("all", users[0]).unwrap();
+    for scored in &first.items {
+        adaptive
+            .observe(FeedbackEvent::new(
+                users[0],
+                scored.item.clone(),
+                Reaction::Accept,
+            ))
+            .unwrap();
+    }
+    adaptive.sync();
+    let applies = tracer.stage("feedback_apply").expect("apply spans");
+    assert!(applies.snapshot().count >= 1);
+    let stats = adaptive.shutdown();
+    assert_eq!(stats.explored_serves, 0, "exploration stayed off");
+}
+
 /// Exploration steers: an ε-greedy policy at ε = 1 boosts one measure
 /// per serving, and the boosted serving differs from the plain one
 /// while staying deterministic serve-for-serve.

@@ -31,6 +31,7 @@
 mod bandit;
 mod event;
 mod recommender;
+pub mod slo;
 mod store;
 mod worker;
 

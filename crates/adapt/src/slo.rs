@@ -1,0 +1,20 @@
+//! Default service-level objectives for adaptive serving.
+//!
+//! The user-facing objective: p99 serve latency. With a tracer
+//! attached, the obs plane exports per-stage latency summaries under
+//! `evorec_trace_span_nanos{span=…}`; the `serve` stage's 0.99
+//! quantile is the ceiling the telemetry health engine alarms on.
+//! The default ceiling is deliberately generous — warm serves are
+//! sub-microsecond, so a sustained p99 in the tens of milliseconds
+//! means cold paths (or lock contention) have taken over.
+
+/// Series key of the serve-stage p99 summary sample exported by the
+/// obs `Tracer` (labels in series-key order: quantile before span).
+pub const SERVE_P99_SERIES: &str =
+    "evorec_trace_span_nanos{quantile=\"0.99\",span=\"serve\"}";
+
+/// Serve p99 (nanoseconds) above which serving is **degraded**.
+pub const SERVE_P99_DEGRADED_NANOS: f64 = 25_000_000.0;
+
+/// Serve p99 (nanoseconds) above which serving is **critical**.
+pub const SERVE_P99_CRITICAL_NANOS: f64 = 250_000_000.0;

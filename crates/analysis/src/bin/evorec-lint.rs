@@ -20,7 +20,7 @@ use std::path::{Path, PathBuf};
 const SKIP_DIRS: [&str; 4] = ["target", ".git", ".github", ".claude"];
 
 /// Hot-path crates: `hot-path-panic` applies to their `src/` trees.
-const HOT_PATH_CRATES: [&str; 6] = ["core", "stream", "windows", "adapt", "kb", "obs"];
+const HOT_PATH_CRATES: [&str; 7] = ["core", "stream", "windows", "adapt", "kb", "obs", "telemetry"];
 
 fn main() {
     std::process::exit(run());

@@ -283,17 +283,20 @@ fn is_sort(name: &str) -> bool {
     name == "sort" || name.starts_with("sort_by") || name.starts_with("sort_unstable")
 }
 
-/// The observability plane (`evorec-obs`) is *terminal* for
-/// nondeterministic values — a registered cleanser, not a source.
-/// Span timings read from the tracer clock land in latency histograms
-/// and the bounded trace ring and are only ever rendered; they never
-/// feed back into fingerprints, publishes, codecs or rankings. The
-/// `SpanHandle`s that do come back out of the recording surface are
-/// atomic-counter sequence ids, not clock values. Cleansing at the
-/// type boundary (instead of letting `Tracer::start`'s internal
+/// The observability plane (`evorec-obs`) and the metrics-retention
+/// plane above it (`evorec-telemetry`) are *terminal* for
+/// nondeterministic values — registered cleansers, not sources.
+/// Span timings read from the tracer clock land in latency
+/// histograms and the bounded trace ring; scrape timestamps, derived
+/// rates, rollups, health reports and flight events land in the
+/// telemetry rings — and all of them are only ever rendered; they
+/// never feed back into fingerprints, publishes, codecs or rankings.
+/// The `SpanHandle`s that do come back out of the recording surface
+/// are atomic-counter sequence ids, not clock values. Cleansing at
+/// the type boundary (instead of letting `Tracer::start`'s internal
 /// `Instant::now` read taint every caller through its summary) keeps
 /// the audit precise: a real wall-clock leak into a sink still fires,
-/// because the cleanse is scoped to the obs types.
+/// because the cleanse is scoped to the obs/telemetry types.
 fn is_obs_plane(head: Option<&str>) -> bool {
     matches!(
         head,
@@ -306,6 +309,12 @@ fn is_obs_plane(head: Option<&str>) -> bool {
             | Some("MetricsSnapshot")
             | Some("MonotonicClock")
             | Some("LogicalClock")
+            | Some("TelemetryCollector")
+            | Some("TelemetryDriver")
+            | Some("SeriesStore")
+            | Some("SeriesBuf")
+            | Some("HealthEngine")
+            | Some("FlightRecorder")
     )
 }
 

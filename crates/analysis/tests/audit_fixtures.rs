@@ -238,6 +238,47 @@ fn cleanser_obs_recording_surface() {
     assert_pair(&tainted, &clean, "taint-into-publish");
 }
 
+#[test]
+fn cleanser_telemetry_metrics_plane() {
+    // The metrics-retention plane one layer up from obs: a scrape
+    // watermark derived from a clock read flows into a publish. With
+    // an ordinary receiver (`ScrapeLoop`) the clock taint must fire;
+    // `TelemetryCollector`/`FlightRecorder` are registered terminal
+    // cleansers — their clock reads land in the ring TSDB and flight
+    // ring, which are only ever rendered, never replayed.
+    let tainted = [src(
+        "crates/stream/src/t.rs",
+        "pub struct ScrapeLoop { pub scrapes: u64 }\n\
+         impl ScrapeLoop {\n\
+             pub fn scrape(&self, epoch: u64) -> u64 {\n\
+                 let now = Instant::now();\n\
+                 now\n\
+             }\n\
+         }\n\
+         pub fn watermark(s: &ScrapeLoop, live: &LiveContext) {\n\
+             let mark = s.scrape(4);\n\
+             live.publish(mark);\n\
+         }",
+    )];
+    let clean = [src(
+        "crates/stream/src/t.rs",
+        "pub struct FlightRecorder { pub events: u64 }\n\
+         pub struct TelemetryCollector { pub scrapes: u64 }\n\
+         impl TelemetryCollector {\n\
+             pub fn scrape(&self, epoch: u64) -> u64 {\n\
+                 let now = Instant::now();\n\
+                 now\n\
+             }\n\
+         }\n\
+         pub fn watermark(c: &TelemetryCollector, rec: &FlightRecorder, live: &LiveContext) {\n\
+             let mark = c.scrape(4);\n\
+             rec.note(mark);\n\
+             live.publish(4);\n\
+         }",
+    )];
+    assert_pair(&tainted, &clean, "taint-into-publish");
+}
+
 // ---- multi-hop evidence -------------------------------------------------
 
 #[test]

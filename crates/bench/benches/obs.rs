@@ -9,14 +9,28 @@
 //! request (a handful of clock reads + lock-free histogram records).
 //! Plus the primitive costs underneath: `Histogram::record` and a
 //! start/finish span round-trip.
+//!
+//! `recommend_collector_attached` raises the bar one layer: the same
+//! warm path while a live `TelemetryDriver` scrapes the registry on a
+//! short cadence with the full standard SLO rule set armed. The
+//! serving thread never touches the collector (pull-model metrics:
+//! the scraper reads the same relaxed atomics the stats already
+//! maintain), so this must land within noise of the collector-off
+//! sides above.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use evorec_core::{Recommender, RecommenderConfig, ReportCache};
 use evorec_measures::{EvolutionContext, MeasureRegistry};
-use evorec_obs::{Histogram, SpanHandle, Tracer};
+use evorec_obs::{
+    Clock, Histogram, MetricsRegistry, MetricsSource, MonotonicClock, SpanHandle, Tracer,
+};
 use evorec_synth::workload::curated_kb;
+use evorec_telemetry::{
+    defaults::standard_rules, CollectorConfig, TelemetryCollector, TelemetryDriver,
+};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn bench_tracing_overhead(c: &mut Criterion) {
     let world = curated_kb(200, 58);
@@ -61,6 +75,56 @@ fn bench_tracing_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_collector_attached(c: &mut Criterion) {
+    let world = curated_kb(200, 58);
+    let store = &world.kb.store;
+    let (base, head) = (world.base(), world.head());
+    let cache = Arc::new(ReportCache::new());
+    let recommender = Recommender::with_cache(
+        MeasureRegistry::standard(),
+        RecommenderConfig::default(),
+        Arc::clone(&cache),
+    );
+    let profile = world.population.profiles[0].clone();
+    let ctx = EvolutionContext::build(store, base, head);
+    let _ = recommender.recommend(&ctx, &profile);
+
+    // A live collector scraping every 1ms with all default rules on.
+    const CADENCE_NANOS: u64 = 1_000_000;
+    let metrics = Arc::new(MetricsRegistry::new());
+    metrics.register_source(Arc::clone(&cache) as Arc<dyn MetricsSource>);
+    let collector = Arc::new(TelemetryCollector::new(
+        Arc::clone(&metrics),
+        Arc::new(MonotonicClock::new()) as Arc<dyn Clock>,
+        CollectorConfig::for_cadence(CADENCE_NANOS).with_rules(standard_rules(CADENCE_NANOS)),
+    ));
+    metrics.register_source(Arc::clone(&collector) as Arc<dyn MetricsSource>);
+    let mut driver = TelemetryDriver::start(Arc::clone(&collector), Duration::from_millis(1));
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    group.bench_function("recommend_collector_attached", |b| {
+        b.iter(|| {
+            black_box(recommender.recommend_observed(
+                black_box(&ctx),
+                black_box(&profile),
+                None,
+                None,
+                SpanHandle::NONE,
+            ))
+        })
+    });
+    group.finish();
+    // Prove the scraper really ran concurrently before tearing down
+    // (a fast bench can finish inside the first scrape interval).
+    let deadline = std::time::Instant::now() + Duration::from_millis(250);
+    while collector.scrapes() == 0 && std::time::Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+    driver.shutdown();
+    assert!(collector.scrapes() > 0, "the driver must have scraped");
+}
+
 fn bench_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_primitives");
     let histogram = Histogram::new();
@@ -82,5 +146,10 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tracing_overhead, bench_primitives);
+criterion_group!(
+    benches,
+    bench_tracing_overhead,
+    bench_collector_attached,
+    bench_primitives
+);
 criterion_main!(benches);

@@ -33,6 +33,7 @@ mod item;
 mod profile;
 pub mod relatedness;
 pub mod session;
+pub mod slo;
 pub mod transparency;
 
 pub use anonymity::{anonymise, AnonymisedCell, AnonymisedReport, UserFeed};

@@ -1,0 +1,21 @@
+//! Default service-level objectives for the serving core.
+//!
+//! The serving layer's economics rest on the
+//! [`ReportCache`](crate::ReportCache): warm fingerprint hits are what
+//! make per-request measure computation affordable, so a sustained
+//! *hit-rate floor* breach means the system is silently doing cold
+//! work per request — latency follows. The constants name the cache's
+//! exported series and the floor the telemetry health engine alarms
+//! on (over recent *rates*, not lifetime totals, so a long warm
+//! history cannot mask a cold regression).
+
+/// Series key of the cache-hit counter exported by
+/// [`ReportCache`](crate::ReportCache)'s `MetricsSource` impl.
+pub const CACHE_HITS_SERIES: &str = "evorec_cache_hits_total";
+
+/// Series key of the matching miss counter.
+pub const CACHE_MISSES_SERIES: &str = "evorec_cache_misses_total";
+
+/// hits/(hits+misses) over the evaluation window below which the
+/// cache is **degraded**: most requests are paying the cold path.
+pub const HIT_RATE_FLOOR: f64 = 0.5;

@@ -30,18 +30,29 @@
 //! and high-cardinality dimensions (lineage, window, measure, span)
 //! ride in labels, never in the family name.
 //!
+//! The grammar extends to *series keys* — the per-series identity
+//! used by [`MetricsSnapshot::diff`] and the telemetry TSDB: the full
+//! exposition name plus the key-sorted label set in Prometheus
+//! selector syntax, `name{k1="v1",k2="v2"}` (no braces for a bare
+//! series). Derived series wrap the key in a function, e.g.
+//! `rate(evorec_cache_hits_total)` for a per-second counter rate —
+//! parentheses cannot appear in a raw key, so derived keys never
+//! collide with scraped ones.
+//!
 //! Like every crate in this workspace, it is dependency-free apart from
 //! the vendored shims (`sched` for harness-schedulable atomics).
 
 #![warn(missing_docs)]
 
 mod clock;
+mod diff;
 mod metrics;
 pub mod render;
 mod source;
 mod trace;
 
 pub use clock::{Clock, LogicalClock, MonotonicClock};
+pub use diff::{CounterRegression, SeriesDelta, SnapshotDiff};
 pub use metrics::{
     bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
     HISTOGRAM_BUCKETS,

@@ -122,7 +122,7 @@ fn depth_of(span: &FinishedSpan, spans: &[FinishedSpan]) -> usize {
     depth
 }
 
-fn escape_label(value: &str, out: &mut String) {
+pub(crate) fn escape_label(value: &str, out: &mut String) {
     for c in value.chars() {
         match c {
             '\\' => out.push_str("\\\\"),

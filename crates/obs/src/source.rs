@@ -154,6 +154,45 @@ impl Sample {
         name.push_str(self.suffix);
         name
     }
+
+    /// The sample's *series key*: the full exposition name plus its
+    /// label set in Prometheus selector syntax,
+    /// `name{k1="v1",k2="v2"}` (labels key-sorted, values escaped,
+    /// no braces for a bare series). Two samples describe the same
+    /// series over time exactly when their keys are equal — this is
+    /// the identity [`MetricsSnapshot::diff`](crate::MetricsSnapshot)
+    /// and the telemetry TSDB key by.
+    pub fn series_key(&self) -> String {
+        let mut key = self.full_name();
+        if !self.labels.is_empty() {
+            let mut labels = self.labels.clone();
+            labels.sort();
+            key.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    key.push(',');
+                }
+                key.push_str(k);
+                key.push_str("=\"");
+                crate::render::escape_label(v, &mut key);
+                key.push('"');
+            }
+            key.push('}');
+        }
+        key
+    }
+
+    /// True when this sample's value is monotonically non-decreasing
+    /// over a series' lifetime: counters, and the `_sum`/`_count`
+    /// parts of a summary. Rate derivation is only meaningful (and a
+    /// decrease only a defect) for these.
+    pub fn is_monotonic(&self) -> bool {
+        match self.kind {
+            SampleKind::Counter => true,
+            SampleKind::Summary => self.suffix == "_sum" || self.suffix == "_count",
+            SampleKind::Gauge => false,
+        }
+    }
 }
 
 /// Adapts an existing stats-bearing subsystem into the registry.

@@ -5,11 +5,21 @@
 //! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], and the
 //! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark is
 //! warmed up briefly, then timed for a bounded number of samples and
-//! reported as mean ns/iter — no statistics engine, no plots, but the
-//! same code compiles unchanged against real criterion.
+//! reported as median and mean ns/iter — no statistics engine, no
+//! plots, but the same code compiles unchanged against real criterion.
+//!
+//! # Machine-readable results
+//!
+//! Set `EVOREC_BENCH_JSON=<path>` and every finished benchmark appends
+//! one JSON line to `<path>`:
+//! `{"name":"group/bench","median_ns":N,"mean_ns":N,"iters":N}`.
+//! Lines append (the harness never truncates), so one file can collect
+//! a whole `cargo bench` run across bench binaries; wrap the lines in
+//! `[…]` (e.g. `paste -sd,`) for a JSON array.
 
 #![warn(missing_docs)]
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -41,6 +51,7 @@ pub struct Bencher {
     budget: Duration,
     elapsed: Duration,
     iters: u64,
+    sample_nanos: Vec<u64>,
 }
 
 impl Bencher {
@@ -50,7 +61,25 @@ impl Bencher {
             budget: Duration::from_millis(200),
             elapsed: Duration::ZERO,
             iters: 0,
+            sample_nanos: Vec::with_capacity(samples),
         }
+    }
+
+    fn record(&mut self, sample: Duration) {
+        self.elapsed += sample;
+        self.iters += 1;
+        self.sample_nanos.push(sample.as_nanos() as u64);
+    }
+
+    /// Median ns/iter over the recorded samples (upper-median for an
+    /// even count; zero with no samples).
+    fn median_nanos(&self) -> u64 {
+        if self.sample_nanos.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.sample_nanos.clone();
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2]
     }
 
     /// Time `routine` repeatedly.
@@ -61,8 +90,7 @@ impl Bencher {
         for _ in 0..self.samples {
             let start = Instant::now();
             black_box(routine());
-            self.elapsed += start.elapsed();
-            self.iters += 1;
+            self.record(start.elapsed());
             if Instant::now() >= deadline {
                 break;
             }
@@ -85,8 +113,7 @@ impl Bencher {
             for input in inputs {
                 let start = Instant::now();
                 black_box(routine(input));
-                self.elapsed += start.elapsed();
-                self.iters += 1;
+                self.record(start.elapsed());
                 done += 1;
             }
             if Instant::now() >= deadline {
@@ -102,12 +129,39 @@ impl Bencher {
         };
         if self.iters == 0 {
             println!("bench {label:<50} (no samples)");
-        } else {
-            let per_iter = self.elapsed.as_nanos() / u128::from(self.iters);
-            println!(
-                "bench {label:<50} {per_iter:>12} ns/iter ({} iters)",
-                self.iters
-            );
+            return;
+        }
+        let mean = self.elapsed.as_nanos() / u128::from(self.iters);
+        let median = self.median_nanos();
+        println!(
+            "bench {label:<50} {median:>12} ns/iter median ({mean} mean, {} iters)",
+            self.iters
+        );
+        self.append_json(&label, median, mean);
+    }
+
+    /// Append one JSONL result record when `EVOREC_BENCH_JSON` names a
+    /// file; IO failures are reported to stderr, never fatal (a bench
+    /// run must not die on a full disk).
+    fn append_json(&self, label: &str, median: u64, mean: u128) {
+        let Ok(path) = std::env::var("EVOREC_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let line = format!(
+            "{{\"name\":\"{}\",\"median_ns\":{median},\"mean_ns\":{mean},\"iters\":{}}}\n",
+            label.replace('\\', "\\\\").replace('"', "\\\""),
+            self.iters
+        );
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut file| file.write_all(line.as_bytes()));
+        if let Err(err) = written {
+            eprintln!("criterion shim: cannot append to {path}: {err}");
         }
     }
 }

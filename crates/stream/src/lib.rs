@@ -32,6 +32,7 @@ mod ingest;
 mod live;
 mod log;
 mod pipeline;
+pub mod slo;
 
 pub use event::{ChangeEvent, ChangeOp};
 pub use ingest::{EpochCommit, IngestStats, Ingestor, IngestorConfig};

@@ -1,0 +1,29 @@
+//! Default service-level objectives for the streaming subsystem.
+//!
+//! The load-bearing failure mode here is *backpressure saturation*: a
+//! [`BoundedLog`](crate::BoundedLog) holding near its capacity means
+//! producers are about to block (by design — boundedness is the
+//! invariant), so sustained high occupancy is the operator's earliest
+//! signal that the consumer side is underprovisioned. The constants
+//! below name the exported series and the occupancy fractions the
+//! telemetry health engine alarms on; `evorec-telemetry` turns them
+//! into its standard rule set.
+
+/// Series key of the queue-depth gauge exported by
+/// [`BoundedLog`](crate::BoundedLog)'s `MetricsSource` impl.
+pub const QUEUE_DEPTH_SERIES: &str = "evorec_stream_log_depth";
+
+/// Series key of the matching capacity gauge.
+pub const QUEUE_CAPACITY_SERIES: &str = "evorec_stream_log_capacity";
+
+/// Series key of the pipeline's committed-epoch counter (the
+/// upstream side of the epoch-lag staleness objective).
+pub const EPOCHS_SERIES: &str = "evorec_stream_epochs_total";
+
+/// depth/capacity occupancy above which the stream is **degraded**:
+/// producers are not blocking yet, but one burst away from it.
+pub const SATURATION_DEGRADED: f64 = 0.75;
+
+/// depth/capacity occupancy above which the stream is **critical**:
+/// effectively full, producers are blocking or about to.
+pub const SATURATION_CRITICAL: f64 = 0.95;

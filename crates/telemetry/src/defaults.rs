@@ -1,0 +1,136 @@
+//! The workspace-standard SLO rule set.
+//!
+//! Each serving subsystem publishes its own objective constants in a
+//! `slo` module next to the code that exports the series
+//! (`evorec_stream::slo`, `evorec_core::slo`, `evorec_windows::slo`,
+//! `evorec_adapt::slo`) — thresholds live with the subsystem that
+//! owns the invariant, and this module merely assembles them into
+//! [`SloRule`]s for a given scrape cadence. Attach them with
+//! `CollectorConfig::for_cadence(c).with_rules(standard_rules(c))`.
+
+use crate::health::{HealthStatus, Predicate, SeriesExpr, SloRule};
+
+/// The stream pipeline's committed-epoch counter (watermark source).
+pub const STREAM_EPOCHS_SERIES: &str = evorec_stream::slo::EPOCHS_SERIES;
+
+/// The live head-version gauge (watermark detail).
+pub const STREAM_HEAD_SERIES: &str = "evorec_stream_live_head_version";
+
+/// The window manager's advanced-epoch counter (watermark fallback
+/// and the downstream side of the epoch-lag objective).
+pub const WINDOWS_EPOCHS_SERIES: &str = evorec_windows::slo::EPOCHS_SERIES;
+
+/// The component names the standard rules roll up into.
+pub const COMPONENTS: [&str; 4] = ["stream", "cache", "windows", "serving"];
+
+/// The full default rule set for a collector scraping every
+/// `cadence_nanos`:
+///
+/// * **stream** — `log_depth / log_capacity` saturation ceilings
+///   (degraded, critical; thresholds from `evorec_stream::slo`);
+/// * **cache** — recent hit-*rate* floor over the derived
+///   `rate(evorec_cache_hits_total)` / `rate(evorec_cache_misses_total)`
+///   series, so lifetime totals cannot mask a cold regression
+///   (floor from `evorec_core::slo`);
+/// * **windows** — epoch lag `stream_epochs − windows_epochs`
+///   staleness ceilings (from `evorec_windows::slo`);
+/// * **serving** — serve-stage p99 latency ceilings (from
+///   `evorec_adapt::slo`, needs a registered `Tracer`).
+///
+/// Rules whose operand series are absent never trip (no data — no
+/// alarm), so the set is safe to attach to a partially-instrumented
+/// process.
+pub fn standard_rules(cadence_nanos: u64) -> Vec<SloRule> {
+    let saturation = || SeriesExpr::Ratio {
+        left: evorec_stream::slo::QUEUE_DEPTH_SERIES.to_string(),
+        right: evorec_stream::slo::QUEUE_CAPACITY_SERIES.to_string(),
+    };
+    let epoch_lag = || SeriesExpr::Diff {
+        left: STREAM_EPOCHS_SERIES.to_string(),
+        right: WINDOWS_EPOCHS_SERIES.to_string(),
+    };
+    let serve_p99 = || SeriesExpr::Series(evorec_adapt::slo::SERVE_P99_SERIES.to_string());
+    vec![
+        SloRule::standard(
+            "queue-saturation",
+            "stream",
+            saturation(),
+            Predicate::Above(evorec_stream::slo::SATURATION_DEGRADED),
+            HealthStatus::Degraded,
+            cadence_nanos,
+        ),
+        SloRule::standard(
+            "queue-saturation-critical",
+            "stream",
+            saturation(),
+            Predicate::Above(evorec_stream::slo::SATURATION_CRITICAL),
+            HealthStatus::Critical,
+            cadence_nanos,
+        ),
+        SloRule::standard(
+            "cache-hit-rate",
+            "cache",
+            SeriesExpr::Fraction {
+                part: format!("rate({})", evorec_core::slo::CACHE_HITS_SERIES),
+                rest: format!("rate({})", evorec_core::slo::CACHE_MISSES_SERIES),
+            },
+            Predicate::Below(evorec_core::slo::HIT_RATE_FLOOR),
+            HealthStatus::Degraded,
+            cadence_nanos,
+        ),
+        SloRule::standard(
+            "epoch-lag",
+            "windows",
+            epoch_lag(),
+            Predicate::Above(evorec_windows::slo::EPOCH_LAG_DEGRADED),
+            HealthStatus::Degraded,
+            cadence_nanos,
+        ),
+        SloRule::standard(
+            "epoch-lag-critical",
+            "windows",
+            epoch_lag(),
+            Predicate::Above(evorec_windows::slo::EPOCH_LAG_CRITICAL),
+            HealthStatus::Critical,
+            cadence_nanos,
+        ),
+        SloRule::standard(
+            "serve-p99",
+            "serving",
+            serve_p99(),
+            Predicate::Above(evorec_adapt::slo::SERVE_P99_DEGRADED_NANOS),
+            HealthStatus::Degraded,
+            cadence_nanos,
+        ),
+        SloRule::standard(
+            "serve-p99-critical",
+            "serving",
+            serve_p99(),
+            Predicate::Above(evorec_adapt::slo::SERVE_P99_CRITICAL_NANOS),
+            HealthStatus::Critical,
+            cadence_nanos,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_rules_cover_every_component() {
+        let rules = standard_rules(1_000_000_000);
+        for component in COMPONENTS {
+            assert!(
+                rules.iter().any(|r| r.component == component),
+                "no rule for {component}"
+            );
+        }
+        // Every rule uses the workspace-standard burn windows.
+        for rule in &rules {
+            assert_eq!(rule.short_window_nanos, 3_000_000_000);
+            assert_eq!(rule.long_window_nanos, 12_000_000_000);
+            assert_eq!(rule.clear_after, 2);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Telemetry history, SLO health, and a flight recorder over the
+//! evorec obs plane.
+//!
+//! The obs crate answers "what is the system doing *right now*" — a
+//! registry snapshot is one instant. This crate adds the time axis
+//! and the judgement on top of it:
+//!
+//! * [`TelemetryCollector`] — a periodic scraper pulling
+//!   `MetricsRegistry::snapshot()` on a configurable cadence through
+//!   the pluggable obs `Clock`, deriving per-second `rate(…)` series
+//!   for monotonic counters via [`MetricsSnapshot::diff`], and
+//!   retaining everything in a bounded, multi-resolution ring TSDB
+//!   ([`SeriesStore`]). Drive it from a `LogicalClock` and every
+//!   rollup boundary, burn-rate window, and flight timestamp replays
+//!   bit-identically.
+//! * [`HealthEngine`] — declarative [`SloRule`]s (latency ceilings,
+//!   saturation ceilings, hit-rate floors, staleness lags) evaluated
+//!   with multi-window burn rates and hysteresis into per-component
+//!   [`HealthReport`]s with human-readable reasons.
+//!   [`defaults::standard_rules`] assembles the workspace-standard
+//!   set from each subsystem's own `slo` constants module.
+//! * [`FlightRecorder`] — an always-on bounded ring of interesting
+//!   moments (scrapes, health transitions, ingest watermarks, counter
+//!   regressions) plus recent span trees, dumpable on demand — and
+//!   from a panic hook — as a single JSON bundle.
+//!
+//! [`MetricsSnapshot::diff`]: evorec_obs::MetricsSnapshot
+//!
+//! Like every crate in this workspace, it is dependency-free apart
+//! from the vendored shims.
+
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod defaults;
+pub mod health;
+pub mod recorder;
+pub mod tsdb;
+
+pub use collector::{CollectorConfig, ScrapeOutcome, TelemetryCollector, TelemetryDriver};
+pub use health::{
+    ComponentHealth, HealthEngine, HealthReport, HealthStatus, HealthTransition, Predicate,
+    SeriesExpr, SloRule,
+};
+pub use recorder::{FlightEvent, FlightRecorder};
+pub use tsdb::{RawPoint, Rollup, RollupSpec, SeriesBuf, SeriesStore, TsdbConfig};

@@ -1,0 +1,439 @@
+//! The bounded in-memory ring TSDB with multi-resolution
+//! downsampling.
+//!
+//! Every series keeps a **raw ring** of recent `(t, value)` points
+//! plus one **rollup ring** per configured resolution. A rollup
+//! bucket covers the half-open time window
+//! `[start, start + width)` and aggregates *every* raw point that
+//! fell in it — including points the raw ring has since evicted, so
+//! coarse history outlives fine history (the classic RRD shape).
+//! Buckets are built incrementally: the point stream folds into the
+//! level's one *open* bucket, which seals into the ring the moment a
+//! point at or past the bucket's end arrives. Aggregation is pure
+//! integer/float fold over the point stream, so with a deterministic
+//! clock the whole store — raw rings, rollups, eviction counters —
+//! is bit-identical across replays.
+//!
+//! Memory is fixed by construction: `raw_capacity` points and
+//! `capacity` buckets per level per series, and at most
+//! `max_series` series per store (late arrivals are counted, not
+//! admitted).
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// One raw observation.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct RawPoint {
+    /// Clock reading when the point was recorded.
+    pub t_nanos: u64,
+    /// The observed value.
+    pub value: f64,
+}
+
+/// One downsampled bucket: the order-free aggregates of every raw
+/// point in `[start_nanos, start_nanos + width_nanos)`, plus the
+/// order-dependent `first`/`last` (well-defined because points arrive
+/// in clock order).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Rollup {
+    /// Window start (inclusive), aligned to a multiple of the width.
+    pub start_nanos: u64,
+    /// Window width.
+    pub width_nanos: u64,
+    /// Raw points absorbed.
+    pub count: u64,
+    /// Sum of absorbed values.
+    pub sum: f64,
+    /// Smallest absorbed value.
+    pub min: f64,
+    /// Largest absorbed value.
+    pub max: f64,
+    /// First absorbed value (oldest).
+    pub first: f64,
+    /// Last absorbed value (newest).
+    pub last: f64,
+}
+
+impl Rollup {
+    fn open(start_nanos: u64, width_nanos: u64, value: f64) -> Rollup {
+        Rollup {
+            start_nanos,
+            width_nanos,
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+            first: value,
+            last: value,
+        }
+    }
+
+    fn absorb(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.last = value;
+    }
+
+    /// Window end (exclusive).
+    pub fn end_nanos(&self) -> u64 {
+        self.start_nanos.saturating_add(self.width_nanos)
+    }
+
+    /// Mean of the absorbed values (zero for an impossible empty
+    /// bucket — buckets open on their first point).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One rollup resolution: `width_nanos`-wide buckets, at most
+/// `capacity` retained.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct RollupSpec {
+    /// Bucket width. Zero-width specs are clamped to 1ns at use.
+    pub width_nanos: u64,
+    /// Sealed buckets retained per series.
+    pub capacity: usize,
+}
+
+/// Retention shape shared by every series in a store.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TsdbConfig {
+    /// Raw points retained per series.
+    pub raw_capacity: usize,
+    /// Downsampling levels, typically coarsening left to right.
+    pub rollups: Vec<RollupSpec>,
+    /// Hard cap on distinct series; late arrivals are dropped and
+    /// counted.
+    pub max_series: usize,
+}
+
+impl TsdbConfig {
+    /// A retention shape proportioned to a scrape cadence: 240 raw
+    /// points, an 8-scrape mid ring and a 64-scrape coarse ring of
+    /// 120 buckets each — with a 1s cadence that is 4 minutes raw,
+    /// 16 minutes mid, 2 hours coarse, all in fixed memory.
+    pub fn for_cadence(cadence_nanos: u64) -> TsdbConfig {
+        let cadence = cadence_nanos.max(1);
+        TsdbConfig {
+            raw_capacity: 240,
+            rollups: vec![
+                RollupSpec {
+                    width_nanos: cadence.saturating_mul(8),
+                    capacity: 120,
+                },
+                RollupSpec {
+                    width_nanos: cadence.saturating_mul(64),
+                    capacity: 120,
+                },
+            ],
+            max_series: 512,
+        }
+    }
+}
+
+impl Default for TsdbConfig {
+    fn default() -> TsdbConfig {
+        TsdbConfig::for_cadence(1_000_000_000)
+    }
+}
+
+/// One rollup ring: the sealed buckets plus the open one.
+#[derive(Clone, Debug)]
+struct LevelBuf {
+    width_nanos: u64,
+    capacity: usize,
+    sealed: VecDeque<Rollup>,
+    open: Option<Rollup>,
+    evicted: u64,
+}
+
+impl LevelBuf {
+    fn new(spec: RollupSpec) -> LevelBuf {
+        LevelBuf {
+            width_nanos: spec.width_nanos.max(1),
+            capacity: spec.capacity.max(1),
+            sealed: VecDeque::new(),
+            open: None,
+            evicted: 0,
+        }
+    }
+
+    fn record(&mut self, t_nanos: u64, value: f64) {
+        let start = t_nanos - t_nanos % self.width_nanos;
+        match &mut self.open {
+            Some(bucket) if start <= bucket.start_nanos => {
+                // Same window (or a same-scrape point landing at the
+                // boundary reading): fold in.
+                bucket.absorb(value);
+            }
+            Some(_) => {
+                // The point opened a newer window: seal and reopen.
+                let Some(done) = self.open.take() else { return };
+                if self.sealed.len() == self.capacity {
+                    self.sealed.pop_front();
+                    self.evicted += 1;
+                }
+                self.sealed.push_back(done);
+                self.open = Some(Rollup::open(start, self.width_nanos, value));
+            }
+            None => {
+                self.open = Some(Rollup::open(start, self.width_nanos, value));
+            }
+        }
+    }
+
+    /// Sealed buckets oldest first, then the open bucket.
+    fn rollups(&self) -> Vec<Rollup> {
+        let mut out: Vec<Rollup> = self.sealed.iter().copied().collect();
+        if let Some(open) = self.open {
+            out.push(open);
+        }
+        out
+    }
+}
+
+/// One series: raw ring plus rollup rings.
+#[derive(Clone, Debug)]
+pub struct SeriesBuf {
+    raw: VecDeque<RawPoint>,
+    raw_capacity: usize,
+    raw_evicted: u64,
+    levels: Vec<LevelBuf>,
+}
+
+impl SeriesBuf {
+    /// An empty series shaped by `config`.
+    pub fn new(config: &TsdbConfig) -> SeriesBuf {
+        SeriesBuf {
+            raw: VecDeque::new(),
+            raw_capacity: config.raw_capacity.max(1),
+            raw_evicted: 0,
+            levels: config.rollups.iter().map(|s| LevelBuf::new(*s)).collect(),
+        }
+    }
+
+    /// Record one point. Points must arrive in non-decreasing clock
+    /// order (the collector guarantees it; an out-of-order point folds
+    /// into the open bucket rather than reopening a sealed one).
+    pub fn record(&mut self, t_nanos: u64, value: f64) {
+        if self.raw.len() == self.raw_capacity {
+            self.raw.pop_front();
+            self.raw_evicted += 1;
+        }
+        self.raw.push_back(RawPoint { t_nanos, value });
+        for level in &mut self.levels {
+            level.record(t_nanos, value);
+        }
+    }
+
+    /// The retained raw points, oldest first.
+    pub fn raw_points(&self) -> Vec<RawPoint> {
+        self.raw.iter().copied().collect()
+    }
+
+    /// The newest raw point.
+    pub fn latest(&self) -> Option<RawPoint> {
+        self.raw.back().copied()
+    }
+
+    /// Raw points evicted from the ring so far.
+    pub fn raw_evicted(&self) -> u64 {
+        self.raw_evicted
+    }
+
+    /// Number of rollup levels (mirrors the config).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The buckets of rollup level `level`, oldest first, open bucket
+    /// last. Empty for an unknown level.
+    pub fn rollups(&self, level: usize) -> Vec<Rollup> {
+        self.levels.get(level).map(LevelBuf::rollups).unwrap_or_default()
+    }
+
+    /// Buckets evicted from rollup level `level` so far.
+    pub fn rollups_evicted(&self, level: usize) -> u64 {
+        self.levels.get(level).map(|l| l.evicted).unwrap_or(0)
+    }
+
+    /// Raw points with `t_nanos` in `[from, to]`, oldest first.
+    pub fn points_between(&self, from: u64, to: u64) -> Vec<RawPoint> {
+        self.raw
+            .iter()
+            .filter(|p| p.t_nanos >= from && p.t_nanos <= to)
+            .copied()
+            .collect()
+    }
+}
+
+/// The store: a deterministic map of series key → [`SeriesBuf`],
+/// bounded at `max_series`.
+#[derive(Clone, Debug)]
+pub struct SeriesStore {
+    config: TsdbConfig,
+    series: BTreeMap<String, SeriesBuf>,
+    dropped_series: u64,
+}
+
+impl SeriesStore {
+    /// An empty store shaped by `config`.
+    pub fn new(config: TsdbConfig) -> SeriesStore {
+        SeriesStore {
+            config,
+            series: BTreeMap::new(),
+            dropped_series: 0,
+        }
+    }
+
+    /// The store's retention shape.
+    pub fn config(&self) -> &TsdbConfig {
+        &self.config
+    }
+
+    /// Record one point under `key`, creating the series on first
+    /// touch. A new key past the `max_series` budget is dropped and
+    /// counted instead of admitted — the memory bound is hard.
+    pub fn record(&mut self, key: &str, t_nanos: u64, value: f64) {
+        if !self.series.contains_key(key) {
+            if self.series.len() >= self.config.max_series {
+                self.dropped_series += 1;
+                return;
+            }
+            self.series
+                .insert(key.to_string(), SeriesBuf::new(&self.config));
+        }
+        if let Some(buf) = self.series.get_mut(key) {
+            buf.record(t_nanos, value);
+        }
+    }
+
+    /// The series stored under `key`.
+    pub fn get(&self, key: &str) -> Option<&SeriesBuf> {
+        self.series.get(key)
+    }
+
+    /// All series keys, sorted.
+    pub fn keys(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// Iterate `(key, series)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &SeriesBuf)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of admitted series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when no series has been admitted.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Record attempts refused by the `max_series` budget.
+    pub fn dropped_series(&self) -> u64 {
+        self.dropped_series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TsdbConfig {
+        TsdbConfig {
+            raw_capacity: 4,
+            rollups: vec![RollupSpec {
+                width_nanos: 10,
+                capacity: 3,
+            }],
+            max_series: 2,
+        }
+    }
+
+    #[test]
+    fn raw_ring_wraps_and_counts_evictions() {
+        let mut buf = SeriesBuf::new(&tiny());
+        for t in 0..6u64 {
+            buf.record(t, t as f64);
+        }
+        let points = buf.raw_points();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].t_nanos, 2, "oldest two evicted");
+        assert_eq!(buf.raw_evicted(), 2);
+        assert_eq!(buf.latest().map(|p| p.t_nanos), Some(5));
+    }
+
+    #[test]
+    fn rollups_seal_on_window_boundaries() {
+        let mut buf = SeriesBuf::new(&tiny());
+        buf.record(0, 1.0);
+        buf.record(9, 3.0);
+        // Still in [0, 10): one open bucket, nothing sealed.
+        let r = buf.rollups(0);
+        assert_eq!(r.len(), 1);
+        assert_eq!((r[0].count, r[0].sum), (2, 4.0));
+        // t = 10 opens [10, 20) and seals [0, 10).
+        buf.record(10, 5.0);
+        let r = buf.rollups(0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].start_nanos, 0);
+        assert_eq!((r[0].first, r[0].last, r[0].min, r[0].max), (1.0, 3.0, 1.0, 3.0));
+        assert_eq!(r[1].start_nanos, 10);
+        assert_eq!(r[1].count, 1);
+    }
+
+    #[test]
+    fn rollup_ring_evicts_oldest_sealed_bucket() {
+        let mut buf = SeriesBuf::new(&tiny());
+        // Five windows at width 10, capacity 3 sealed.
+        for w in 0..5u64 {
+            buf.record(w * 10, w as f64);
+        }
+        let r = buf.rollups(0);
+        // Windows 0 and 10 evicted; 20, 30 sealed; 40 open.
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0].start_nanos, 10, "window 0 evicted");
+        assert_eq!(buf.rollups_evicted(0), 1);
+        buf.record(50, 9.0);
+        assert_eq!(buf.rollups_evicted(0), 2);
+    }
+
+    #[test]
+    fn store_enforces_the_series_budget() {
+        let mut store = SeriesStore::new(tiny());
+        store.record("a", 0, 1.0);
+        store.record("b", 0, 2.0);
+        store.record("c", 0, 3.0);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.dropped_series(), 1);
+        assert!(store.get("c").is_none());
+        // Existing series keep recording under a full budget.
+        store.record("a", 1, 4.0);
+        assert_eq!(store.get("a").map(|b| b.raw_points().len()), Some(2));
+        assert_eq!(store.keys(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn points_between_is_inclusive() {
+        let mut buf = SeriesBuf::new(&TsdbConfig::default());
+        for t in [5u64, 10, 15, 20] {
+            buf.record(t, t as f64);
+        }
+        let picked = buf.points_between(10, 15);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].t_nanos, 10);
+        assert_eq!(picked[1].t_nanos, 15);
+    }
+}

@@ -1,0 +1,195 @@
+//! Downsampling correctness: every retained rollup — at every level,
+//! sealed or open — must equal a recomputation from the *full* raw
+//! history, including points the raw ring has already evicted. Plus
+//! deterministic boundary checks at ring wrap, bucket sealing, and
+//! rollup retention eviction.
+
+use evorec_telemetry::{RollupSpec, SeriesBuf, TsdbConfig};
+use proptest::prelude::*;
+
+/// A shadow recomputation of the bucket starting at `start`: absorb
+/// every shadow point in `[start, start + width)` in arrival order,
+/// mirroring the incremental aggregator's exact operation order so
+/// floating-point results are bitwise comparable.
+fn recompute(
+    shadow: &[(u64, f64)],
+    start: u64,
+    width: u64,
+) -> Option<(u64, f64, f64, f64, f64, f64)> {
+    let mut acc: Option<(u64, f64, f64, f64, f64, f64)> = None;
+    for &(t, v) in shadow {
+        if t < start || t >= start.saturating_add(width) {
+            continue;
+        }
+        acc = Some(match acc {
+            None => (1, v, v, v, v, v),
+            Some((count, sum, min, max, first, _)) => {
+                (count + 1, sum + v, min.min(v), max.max(v), first, v)
+            }
+        });
+    }
+    acc
+}
+
+fn tiny_config() -> TsdbConfig {
+    TsdbConfig {
+        raw_capacity: 8,
+        rollups: vec![
+            RollupSpec {
+                width_nanos: 16,
+                capacity: 4,
+            },
+            RollupSpec {
+                width_nanos: 64,
+                capacity: 3,
+            },
+        ],
+        max_series: 16,
+    }
+}
+
+proptest! {
+    /// Every retained rollup window equals its recomputation from the
+    /// full raw history — bitwise, because both sides absorb in
+    /// arrival order.
+    #[test]
+    fn every_rollup_equals_recomputation_from_raw(
+        steps in prop::collection::vec((1u64..50, 0u64..1000), 1..120),
+    ) {
+        let config = tiny_config();
+        let mut buf = SeriesBuf::new(&config);
+        let mut shadow: Vec<(u64, f64)> = Vec::new();
+        let mut t = 0u64;
+        for &(dt, v) in &steps {
+            t += dt;
+            let value = v as f64;
+            buf.record(t, value);
+            shadow.push((t, value));
+        }
+        for (level, spec) in config.rollups.iter().enumerate() {
+            for rollup in buf.rollups(level) {
+                prop_assert_eq!(rollup.width_nanos, spec.width_nanos.max(1));
+                prop_assert_eq!(rollup.start_nanos % rollup.width_nanos, 0,
+                    "bucket start must be width-aligned");
+                let truth = recompute(&shadow, rollup.start_nanos, rollup.width_nanos);
+                let (count, sum, min, max, first, last) =
+                    truth.expect("a retained rollup absorbed at least one point");
+                prop_assert_eq!(rollup.count, count);
+                prop_assert_eq!(rollup.sum, sum);
+                prop_assert_eq!(rollup.min, min);
+                prop_assert_eq!(rollup.max, max);
+                prop_assert_eq!(rollup.first, first);
+                prop_assert_eq!(rollup.last, last);
+            }
+        }
+    }
+
+    /// The raw ring retains exactly the newest `raw_capacity` points
+    /// and counts every eviction; `points_between` matches a shadow
+    /// filter over the retained suffix.
+    #[test]
+    fn raw_ring_retains_newest_suffix(
+        steps in prop::collection::vec((1u64..20, 0u64..1000), 1..60),
+        from_off in 0u64..100,
+        span in 0u64..100,
+    ) {
+        let config = tiny_config();
+        let mut buf = SeriesBuf::new(&config);
+        let mut shadow: Vec<(u64, f64)> = Vec::new();
+        let mut t = 0u64;
+        for &(dt, v) in &steps {
+            t += dt;
+            buf.record(t, v as f64);
+            shadow.push((t, v as f64));
+        }
+        let expected_evicted = shadow.len().saturating_sub(config.raw_capacity);
+        prop_assert_eq!(buf.raw_evicted(), expected_evicted as u64);
+        let retained: Vec<(u64, f64)> = shadow
+            .iter()
+            .skip(expected_evicted)
+            .copied()
+            .collect();
+        let raw: Vec<(u64, f64)> =
+            buf.raw_points().iter().map(|p| (p.t_nanos, p.value)).collect();
+        prop_assert_eq!(&raw, &retained);
+        let (from, to) = (from_off, from_off.saturating_add(span));
+        let windowed: Vec<(u64, f64)> = buf
+            .points_between(from, to)
+            .iter()
+            .map(|p| (p.t_nanos, p.value))
+            .collect();
+        let expected: Vec<(u64, f64)> = retained
+            .iter()
+            .copied()
+            .filter(|&(pt, _)| pt >= from && pt <= to)
+            .collect();
+        prop_assert_eq!(windowed, expected);
+    }
+}
+
+/// A point landing exactly on a bucket boundary seals the open bucket
+/// and opens the next — the boundary point belongs to the *new*
+/// bucket (windows are half-open `[start, start + width)`).
+#[test]
+fn boundary_point_seals_and_starts_the_next_bucket() {
+    let config = TsdbConfig {
+        raw_capacity: 32,
+        rollups: vec![RollupSpec {
+            width_nanos: 10,
+            capacity: 8,
+        }],
+        max_series: 4,
+    };
+    let mut buf = SeriesBuf::new(&config);
+    buf.record(9, 1.0); // opens [0, 10)
+    buf.record(10, 2.0); // exactly on the boundary: seals, opens [10, 20)
+    let rollups = buf.rollups(0);
+    assert_eq!(rollups.len(), 2);
+    assert_eq!(rollups[0].start_nanos, 0);
+    assert_eq!(rollups[0].count, 1);
+    assert_eq!(rollups[1].start_nanos, 10);
+    assert_eq!(rollups[1].first, 2.0);
+}
+
+/// Ring wrap at exactly capacity: the next record evicts exactly one,
+/// and the eviction counter moves in lockstep.
+#[test]
+fn raw_wrap_is_exact_at_capacity() {
+    let config = TsdbConfig {
+        raw_capacity: 4,
+        rollups: Vec::new(),
+        max_series: 4,
+    };
+    let mut buf = SeriesBuf::new(&config);
+    for t in 1..=4u64 {
+        buf.record(t, t as f64);
+    }
+    assert_eq!(buf.raw_evicted(), 0, "at capacity, nothing evicted yet");
+    buf.record(5, 5.0);
+    assert_eq!(buf.raw_evicted(), 1);
+    let first = buf.raw_points()[0];
+    assert_eq!(first.t_nanos, 2, "oldest point evicted first");
+}
+
+/// Rollup retention eviction: sealing past the level capacity drops
+/// the oldest sealed bucket and counts it.
+#[test]
+fn rollup_retention_evicts_oldest_sealed_bucket() {
+    let config = TsdbConfig {
+        raw_capacity: 64,
+        rollups: vec![RollupSpec {
+            width_nanos: 10,
+            capacity: 2,
+        }],
+        max_series: 4,
+    };
+    let mut buf = SeriesBuf::new(&config);
+    // Four sealed buckets ([0,10) [10,20) [20,30) [30,40)) + one open.
+    for t in [1u64, 11, 21, 31, 41] {
+        buf.record(t, t as f64);
+    }
+    assert_eq!(buf.rollups_evicted(0), 2);
+    let rollups = buf.rollups(0);
+    assert_eq!(rollups.len(), 3, "two sealed retained + the open bucket");
+    assert_eq!(rollups[0].start_nanos, 20, "[0,10) and [10,20) evicted");
+}

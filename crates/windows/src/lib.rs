@@ -35,6 +35,7 @@
 mod manager;
 mod recommender;
 mod spec;
+pub mod slo;
 
 pub use manager::{WindowManager, WindowManagerOptions, WindowManagerStats};
 pub use recommender::{

@@ -1,0 +1,20 @@
+//! Default service-level objectives for multi-window serving.
+//!
+//! A [`WindowManager`](crate::WindowManager) advances once per
+//! committed epoch; if its advance counter falls behind the
+//! pipeline's commit counter, curators are being served from *stale*
+//! windows — the temporal-serving contract is quietly broken even
+//! though every individual read still succeeds. The constants name
+//! the two series whose difference is the staleness signal and the
+//! lag levels the telemetry health engine alarms on.
+
+/// Series key of the manager's advanced-epoch counter.
+pub const EPOCHS_SERIES: &str = "evorec_windows_epochs_total";
+
+/// Epochs of lag behind the pipeline at which window serving is
+/// **degraded**: one slow advance, self-healing under normal load.
+pub const EPOCH_LAG_DEGRADED: f64 = 2.0;
+
+/// Epochs of lag at which window serving is **critical**: the
+/// manager has effectively stopped keeping up.
+pub const EPOCH_LAG_CRITICAL: f64 = 8.0;

@@ -1,0 +1,259 @@
+//! Operations console over the telemetry plane.
+//!
+//! The full serving stack — ingestion, multi-window temporal serving,
+//! adaptive recommendation — instrumented end-to-end and scraped by a
+//! background-style `TelemetryCollector` driven from one
+//! `LogicalClock`, so every run of this console renders the *same*
+//! timeline. The demo script deliberately exercises the health
+//! engine: warm serving (all Ok), then a saturated ingest queue long
+//! enough to burn both SLO windows (stream goes Critical), then a
+//! drain and hysteretic recovery.
+//!
+//! Renders per-series sparklines from the ring TSDB, the per-component
+//! health table with rule reasons, the latest serve span tree, and the
+//! tail of the flight-recorder event log. A panic hook is installed on
+//! the recorder, so a crash would print the same bundle on the way
+//! down.
+//!
+//! Run with: `cargo run --release --example ops_console`
+//! Flags: `--rounds N` (serve rounds per phase, default 8),
+//!        `--dump` (print the full JSON diagnostic bundle and exit).
+
+use evorec::adapt::{AdaptiveOptions, AdaptiveRecommender};
+use evorec::core::{RecommenderConfig, ReportCache, UserId, UserProfile};
+use evorec::measures::MeasureRegistry;
+use evorec::obs::{trace_tree, Clock, MetricsRegistry, MetricsSource, Tracer};
+use evorec::stream::{BoundedLog, EpochSink, EventLog, IngestorConfig};
+use evorec::synth::workload::curated_kb;
+use evorec::synth::workload::streamed::{replay, seeded_ingestor};
+use evorec::telemetry::{
+    defaults::standard_rules, CollectorConfig, FlightEvent, FlightRecorder, TelemetryCollector,
+};
+use evorec::windows::{
+    WindowDef, WindowManager, WindowManagerOptions, WindowSpec, WindowedRecommender,
+};
+use std::sync::Arc;
+
+/// Logical scrape cadence (arbitrary units under a logical clock).
+const CADENCE: u64 = 1_000;
+
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render `values` as a unicode sparkline, min-max normalised.
+fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::from("(no data)");
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = hi - lo;
+    values
+        .iter()
+        .map(|&v| {
+            let frac = if span > 0.0 { (v - lo) / span } else { 0.0 };
+            let idx = ((frac * 7.0).round() as usize).min(7);
+            BARS[idx]
+        })
+        .collect()
+}
+
+fn main() {
+    let mut rounds = 8usize;
+    let mut dump = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(rounds)
+                    .max(1)
+            }
+            "--dump" => dump = true,
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+
+    // -- 1. The instrumented stack on one logical clock.
+    let world = curated_kb(40, 7);
+    let (tracer, clock) = Tracer::logical();
+    let tracer = Arc::new(tracer);
+    let registry = Arc::new(MeasureRegistry::standard());
+    let cache = Arc::new(ReportCache::new());
+    let mut ingestor = seeded_ingestor(
+        &world,
+        IngestorConfig {
+            max_batch: 128,
+            ..Default::default()
+        },
+    );
+    let origin = ingestor.head().expect("seeded history");
+    let manager = Arc::new(WindowManager::new(
+        ingestor.store(),
+        origin,
+        vec![
+            WindowDef::new("all", WindowSpec::Landmark),
+            WindowDef::new("last", WindowSpec::LastEpoch),
+        ],
+        WindowManagerOptions {
+            serving: Some((Arc::clone(&registry), Arc::clone(&cache))),
+            ..Default::default()
+        },
+    ));
+    let log: Arc<EventLog> = Arc::new(BoundedLog::bounded(16));
+    let metrics = Arc::new(MetricsRegistry::new());
+    metrics.register_source(Arc::clone(&cache) as Arc<dyn MetricsSource>);
+    metrics.register_source(Arc::clone(&manager) as Arc<dyn MetricsSource>);
+    metrics.register_source(Arc::clone(&tracer) as Arc<dyn MetricsSource>);
+    metrics.register_source(Arc::clone(&log) as Arc<dyn MetricsSource>);
+
+    let recorder = Arc::new(FlightRecorder::new());
+    FlightRecorder::install_panic_hook(Arc::clone(&recorder));
+    let collector = Arc::new(
+        TelemetryCollector::new(
+            Arc::clone(&metrics),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            CollectorConfig::for_cadence(CADENCE).with_rules(standard_rules(CADENCE)),
+        )
+        .with_tracer(Arc::clone(&tracer))
+        .with_recorder(recorder),
+    );
+    metrics.register_source(Arc::clone(&collector) as Arc<dyn MetricsSource>);
+
+    let served = Arc::new(WindowedRecommender::new(
+        Arc::clone(&manager),
+        MeasureRegistry::standard(),
+        RecommenderConfig::default(),
+    ));
+    let profiles: Vec<UserProfile> = world.population.profiles[..4].to_vec();
+    let users: Vec<UserId> = profiles.iter().map(|p| p.id).collect();
+    let adaptive = AdaptiveRecommender::new(
+        Arc::clone(&served),
+        profiles,
+        AdaptiveOptions {
+            tracer: Some(Arc::clone(&tracer)),
+            ..Default::default()
+        },
+    );
+
+    let scrape = || {
+        clock.tick(CADENCE);
+        collector.scrape_once()
+    };
+
+    // -- 2. The demo timeline: ingest, warm serving, saturation,
+    //       drain — one scrape per round.
+    let events: Vec<_> = replay(&world).into_iter().flatten().collect();
+    let chunk = events.len().div_ceil(8).max(1);
+    for batch in events.chunks(chunk) {
+        ingestor.ingest_all(batch.iter().cloned());
+        if let Some(commit) = ingestor.commit_epoch() {
+            manager.on_epoch(ingestor.store(), &commit);
+        }
+        scrape();
+    }
+    for _ in 0..rounds {
+        for &user in &users {
+            let _ = adaptive.serve("all", user);
+        }
+        scrape();
+    }
+    for _ in 0..16 {
+        let _ = log.push(events[0].clone());
+    }
+    for _ in 0..rounds.max(8) {
+        scrape();
+    }
+    let _ = log.pop_batch(16);
+    for _ in 0..rounds.max(10) {
+        scrape();
+    }
+
+    if dump {
+        // One-shot machine-readable mode: the whole diagnostic bundle
+        // on stdout, nothing else.
+        println!("{}", collector.dump_json());
+        adaptive.shutdown();
+        return;
+    }
+
+    // -- 3. Sparklines from the ring TSDB.
+    println!(
+        "=== ops console: {} scrapes on a logical clock, {} series retained ===",
+        collector.scrapes(),
+        collector.keys().len()
+    );
+    println!("\nseries (raw ring, oldest → newest):");
+    for key in [
+        "evorec_stream_log_depth",
+        "rate(evorec_cache_hits_total)",
+        "rate(evorec_cache_misses_total)",
+        "evorec_windows_epochs_total",
+        "evorec_telemetry_scrapes_total",
+    ] {
+        let points = collector.raw_points(key);
+        let values: Vec<f64> = points.iter().map(|p| p.value).collect();
+        let latest = values.last().copied().unwrap_or(0.0);
+        println!("  {key:42} {} (latest {latest:.1})", sparkline(&values));
+    }
+    println!("\nrollups of evorec_stream_log_depth (level 0 means):");
+    let means: Vec<f64> = collector
+        .rollups("evorec_stream_log_depth", 0)
+        .iter()
+        .map(|r| r.mean())
+        .collect();
+    println!("  {}", sparkline(&means));
+
+    // -- 4. The health table.
+    println!("\nhealth (per component, worst rule wins):");
+    if let Some(report) = collector.last_report() {
+        println!("  overall: {}", report.overall());
+        for (component, health) in &report.components {
+            println!("  {component:10} {}", health.status);
+            for reason in &health.reasons {
+                println!("             ⤷ {reason}");
+            }
+        }
+    }
+
+    // -- 5. The latest serve span tree, from the flight recorder.
+    let traces = collector.recorder().traces();
+    if let Some(spans) = traces.last() {
+        println!("\nlatest captured serve trace:");
+        print!("{}", trace_tree(spans));
+    }
+
+    // -- 6. The flight-recorder event log (tail).
+    let flight = collector.recorder().events();
+    println!("\nflight recorder ({} events retained, tail):", flight.len());
+    for event in flight.iter().rev().take(12).rev() {
+        match event {
+            FlightEvent::Scrape {
+                at_nanos, samples, ..
+            } => println!("  t={at_nanos:>6} scrape     {samples} samples"),
+            FlightEvent::Transition {
+                at_nanos,
+                component,
+                from,
+                to,
+                ..
+            } => println!("  t={at_nanos:>6} transition {component}: {from} → {to}"),
+            FlightEvent::Watermark {
+                at_nanos, epochs, ..
+            } => println!("  t={at_nanos:>6} watermark  epoch {epochs}"),
+            FlightEvent::Regression { at_nanos, key, .. } => {
+                println!("  t={at_nanos:>6} regression {key}")
+            }
+            FlightEvent::Note { at_nanos, text } => {
+                println!("  t={at_nanos:>6} note       {text}")
+            }
+        }
+    }
+
+    adaptive.shutdown();
+}

@@ -21,6 +21,7 @@
 //! | [`stream`] | `evorec-stream` | streaming ingestion: event log, micro-batch epochs, live contexts |
 //! | [`windows`] | `evorec-windows` | multi-window temporal serving: one epoch stream, many live views |
 //! | [`adapt`] | `evorec-adapt` | online adaptation: feedback streams, live profiles, bandit-blended serving |
+//! | [`telemetry`] | `evorec-telemetry` | telemetry history: ring TSDB, SLO health engine, flight recorder |
 //! | [`synth`] | `evorec-synth` | synthetic KB / evolution / population workloads |
 //!
 //! ## Quickstart
@@ -53,5 +54,6 @@ pub use evorec_measures as measures;
 pub use evorec_obs as obs;
 pub use evorec_stream as stream;
 pub use evorec_synth as synth;
+pub use evorec_telemetry as telemetry;
 pub use evorec_versioning as versioning;
 pub use evorec_windows as windows;

@@ -1,0 +1,256 @@
+//! Acceptance tests for the telemetry plane over the full serving
+//! stack.
+//!
+//! The load-bearing claims:
+//! - driving the whole pipeline — ingest, window advance, serving,
+//!   scraping — from one `LogicalClock` makes every telemetry
+//!   artifact **bit-identical** across runs: raw series, every rollup
+//!   at every resolution, health transitions, and the flight-recorder
+//!   bundle byte for byte;
+//! - with the collector attached and the full default rule set armed,
+//!   exploration-off adaptive serving stays bit-identical to the
+//!   plain [`WindowedRecommender`] — observation never perturbs
+//!   serving;
+//! - the default queue-saturation rules fire deterministically: a
+//!   `BoundedLog` held at full occupancy trips the stream component
+//!   to Critical after the burn windows fill, and draining it clears
+//!   the alarm through hysteresis back to Ok.
+
+use evorec::adapt::{AdaptiveOptions, AdaptiveRecommender};
+use evorec::core::{Recommendation, RecommenderConfig, ReportCache, UserId, UserProfile};
+use evorec::kb::TermId;
+use evorec::measures::MeasureRegistry;
+use evorec::obs::{Clock, MetricsRegistry, MetricsSource, Tracer};
+use evorec::stream::{BoundedLog, EpochSink, EventLog, IngestorConfig};
+use evorec::synth::workload::curated_kb;
+use evorec::synth::workload::streamed::{replay, seeded_ingestor};
+use evorec::telemetry::{
+    defaults::standard_rules, CollectorConfig, FlightEvent, HealthStatus, TelemetryCollector,
+};
+use evorec::windows::{
+    WindowDef, WindowManager, WindowManagerOptions, WindowSpec, WindowedRecommender,
+};
+use std::sync::Arc;
+
+/// Logical scrape cadence (nanoseconds — arbitrary units under a
+/// logical clock).
+const CADENCE: u64 = 1_000;
+
+fn detail(rec: &Recommendation) -> Vec<(String, TermId, f64, f64, f64)> {
+    rec.items
+        .iter()
+        .map(|s| {
+            (
+                s.item.measure.as_str().to_string(),
+                s.item.focus,
+                s.relevance,
+                s.novelty,
+                s.objective,
+            )
+        })
+        .collect()
+}
+
+/// One full instrumented run: stream the workload in small epochs,
+/// serve warm rounds through the adaptive facade, then saturate and
+/// drain a bounded ingest queue, scraping once per round on the
+/// logical clock. Returns every telemetry artifact flattened into one
+/// transcript string, plus the health-transition log and the terminal
+/// stream status.
+fn telemetry_run(seed: u64) -> (String, Vec<String>, HealthStatus) {
+    let world = curated_kb(40, seed);
+    let (tracer, clock) = Tracer::logical();
+    let tracer = Arc::new(tracer);
+    let registry = Arc::new(MeasureRegistry::standard());
+    let cache = Arc::new(ReportCache::new());
+    let mut ingestor = seeded_ingestor(
+        &world,
+        IngestorConfig {
+            max_batch: 128,
+            ..Default::default()
+        },
+    );
+    let origin = ingestor.head().expect("seeded history");
+    let manager = Arc::new(WindowManager::new(
+        ingestor.store(),
+        origin,
+        vec![
+            WindowDef::new("all", WindowSpec::Landmark),
+            WindowDef::new("last", WindowSpec::LastEpoch),
+        ],
+        WindowManagerOptions {
+            serving: Some((Arc::clone(&registry), Arc::clone(&cache))),
+            ..Default::default()
+        },
+    ));
+    let log: Arc<EventLog> = Arc::new(BoundedLog::bounded(16));
+    let metrics = Arc::new(MetricsRegistry::new());
+    metrics.register_source(Arc::clone(&cache) as Arc<dyn MetricsSource>);
+    metrics.register_source(Arc::clone(&manager) as Arc<dyn MetricsSource>);
+    metrics.register_source(Arc::clone(&tracer) as Arc<dyn MetricsSource>);
+    metrics.register_source(Arc::clone(&log) as Arc<dyn MetricsSource>);
+    let collector = Arc::new(
+        TelemetryCollector::new(
+            Arc::clone(&metrics),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            CollectorConfig::for_cadence(CADENCE).with_rules(standard_rules(CADENCE)),
+        )
+        .with_tracer(Arc::clone(&tracer)),
+    );
+    metrics.register_source(Arc::clone(&collector) as Arc<dyn MetricsSource>);
+
+    let served = Arc::new(WindowedRecommender::new(
+        Arc::clone(&manager),
+        MeasureRegistry::standard(),
+        RecommenderConfig::default(),
+    ));
+    let profiles: Vec<UserProfile> = world.population.profiles[..4].to_vec();
+    let users: Vec<UserId> = profiles.iter().map(|p| p.id).collect();
+    let adaptive = AdaptiveRecommender::new(
+        Arc::clone(&served),
+        profiles,
+        AdaptiveOptions {
+            tracer: Some(Arc::clone(&tracer)),
+            ..Default::default()
+        },
+    );
+
+    let mut transitions: Vec<String> = Vec::new();
+    let scrape = |transitions: &mut Vec<String>| {
+        clock.tick(CADENCE);
+        let outcome = collector.scrape_once();
+        for t in &outcome.transitions {
+            transitions.push(format!("{t:?}"));
+        }
+        outcome
+    };
+
+    // Cold phase: replay the workload in many single-commit epochs —
+    // every window advance pre-warms reports through the cache, so
+    // the miss rate runs while the hit rate stays flat and the
+    // hit-rate floor rule burns.
+    let events: Vec<_> = replay(&world).into_iter().flatten().collect();
+    let chunk = events.len().div_ceil(8).max(1);
+    for batch in events.chunks(chunk) {
+        ingestor.ingest_all(batch.iter().cloned());
+        if let Some(commit) = ingestor.commit_epoch() {
+            manager.on_epoch(ingestor.store(), &commit);
+        }
+        scrape(&mut transitions);
+    }
+
+    // Warm phase: every serve is a cache hit; along the way, prove
+    // the collector + armed rules never perturb serving — the
+    // adaptive facade stays bit-identical to the plain recommender.
+    for _ in 0..10 {
+        for &user in &users {
+            let profile = adaptive.profile(user).expect("seeded");
+            let direct = served.recommend("all", &profile).expect("window exists");
+            let adapted = adaptive.serve("all", user).expect("window exists");
+            assert_eq!(
+                detail(&direct),
+                detail(&adapted),
+                "collector-attached serving must stay bit-identical"
+            );
+        }
+        scrape(&mut transitions);
+    }
+
+    // Saturation phase: hold the ingest queue at full occupancy long
+    // enough to fill both burn windows — the stream component must go
+    // Critical.
+    for _ in 0..16 {
+        log.push(events[0].clone()).expect("log open");
+    }
+    for _ in 0..10 {
+        scrape(&mut transitions);
+    }
+
+    // Drain phase: empty the queue and let hysteresis clear the
+    // alarm.
+    let drained = log.pop_batch(16);
+    assert_eq!(drained.len(), 16);
+    let mut last = None;
+    for _ in 0..10 {
+        last = Some(scrape(&mut transitions));
+    }
+    let terminal = last
+        .map(|o| o.report.status("stream"))
+        .unwrap_or_default();
+
+    // The transcript: the full JSON bundle (raw series, health,
+    // flight events, traces) plus every rollup at every level.
+    let mut transcript = collector.dump_json();
+    for key in collector.keys() {
+        for level in 0..2 {
+            transcript.push_str(&format!(
+                "\n{key}@{level}: {:?}",
+                collector.rollups(&key, level)
+            ));
+        }
+    }
+
+    // Structural sanity on one run (equality across runs is the
+    // bit-identity test's job).
+    let keys = collector.keys();
+    for expected in [
+        "evorec_cache_hits_total",
+        "rate(evorec_cache_hits_total)",
+        "evorec_windows_epochs_total",
+        "evorec_telemetry_scrapes_total",
+    ] {
+        assert!(
+            keys.iter().any(|k| k == expected),
+            "series {expected} missing from the TSDB (have {} keys)",
+            keys.len()
+        );
+    }
+    let recorder = collector.recorder();
+    assert!(
+        recorder
+            .events()
+            .iter()
+            .any(|e| matches!(e, FlightEvent::Watermark { .. })),
+        "epoch advances must leave watermark events"
+    );
+    assert!(
+        !recorder.traces().is_empty(),
+        "serve span trees must be captured"
+    );
+
+    adaptive.shutdown();
+    (transcript, transitions, terminal)
+}
+
+/// Two identical logical-clock runs produce byte-identical telemetry:
+/// series, rollups, health transitions, flight bundle.
+#[test]
+fn logical_replay_is_bit_identical() {
+    let (transcript_a, transitions_a, terminal_a) = telemetry_run(23);
+    let (transcript_b, transitions_b, terminal_b) = telemetry_run(23);
+    assert_eq!(transitions_a, transitions_b, "health transitions diverge");
+    assert_eq!(terminal_a, terminal_b);
+    assert_eq!(
+        transcript_a, transcript_b,
+        "telemetry transcript must replay byte-identically"
+    );
+}
+
+/// The default queue-saturation rules fire deterministically: a full
+/// ingest queue trips the stream component to Critical once both burn
+/// windows fill, and draining it recovers to Ok through hysteresis.
+#[test]
+fn queue_saturation_trips_full_and_recovers_after_drain() {
+    let (_, transitions, terminal) = telemetry_run(7);
+    assert!(
+        transitions
+            .iter()
+            .any(|t| t.contains("stream") && t.contains("Critical")),
+        "a saturated queue must trip the stream component: {transitions:?}"
+    );
+    assert_eq!(
+        terminal,
+        HealthStatus::Ok,
+        "draining must recover the stream component: {transitions:?}"
+    );
+}

@@ -54,6 +54,21 @@ impl Reaction {
     pub fn is_positive(self) -> bool {
         matches!(self, Reaction::Accept | Reaction::Dwell)
     }
+
+    /// Parse the wire label a serving surface posts back
+    /// (`"accept"` / `"dwell"` / `"dismiss"` / `"reject"`, the exact
+    /// strings [`Display`](std::fmt::Display) renders). `None` for
+    /// anything else — the feedback-ingest edge turns that into a
+    /// clean 4xx instead of guessing.
+    pub fn parse(label: &str) -> Option<Reaction> {
+        match label {
+            "accept" => Some(Reaction::Accept),
+            "dwell" => Some(Reaction::Dwell),
+            "dismiss" => Some(Reaction::Dismiss),
+            "reject" => Some(Reaction::Reject),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Reaction {

@@ -137,6 +137,20 @@ impl AdaptiveRecommender {
     /// answer is bit-identical to
     /// [`WindowedRecommender::recommend`] over the same profile.
     pub fn serve(&self, window: &str, user: UserId) -> Option<Recommendation> {
+        self.serve_with_parent(window, user, SpanHandle::NONE)
+    }
+
+    /// [`serve`](AdaptiveRecommender::serve) with span context: the
+    /// `serve` span (and the engine stages beneath it) is parented
+    /// under `parent` instead of opening a new root — the hook the
+    /// HTTP serving edge uses to nest a serving inside its
+    /// per-request span. Identical output either way.
+    pub fn serve_with_parent(
+        &self,
+        window: &str,
+        user: UserId,
+        parent: SpanHandle,
+    ) -> Option<Recommendation> {
         // Unknown windows answer nothing — and leave no trace: no
         // serve counted, no phantom profile created.
         let ctx = self.served.context(window)?;
@@ -150,7 +164,7 @@ impl AdaptiveRecommender {
         let serve_ix = self.serves.fetch_add(1, Ordering::Relaxed);
         let recommender = self.served.recommender();
         let tracer = self.tracer.as_deref();
-        let serve_span = span(tracer, "serve", SpanHandle::NONE);
+        let serve_span = span(tracer, "serve", parent);
         let serve_handle = serve_span.handle();
         if self.weight == 0.0 || !self.policy.is_active() {
             return Some(recommender.recommend_observed(&ctx, &profile, None, tracer, serve_handle));
@@ -173,6 +187,18 @@ impl AdaptiveRecommender {
     /// the subsystem is already shut down.
     pub fn observe(&self, event: FeedbackEvent) -> Result<(), LogClosed<FeedbackEvent>> {
         self.log.push(event)
+    }
+
+    /// Enqueue one curator reaction without ever blocking: a full log
+    /// hands the event straight back as
+    /// [`TryPushError::Full`](evorec_stream::TryPushError) instead of
+    /// applying backpressure to the caller's thread. The serving
+    /// edge's feedback-ingest endpoint maps that onto `429`.
+    pub fn try_observe(
+        &self,
+        event: FeedbackEvent,
+    ) -> Result<(), evorec_stream::TryPushError<FeedbackEvent>> {
+        self.log.try_push(event)
     }
 
     /// Enqueue a batch of reactions, in order.

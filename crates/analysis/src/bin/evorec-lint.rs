@@ -20,7 +20,8 @@ use std::path::{Path, PathBuf};
 const SKIP_DIRS: [&str; 4] = ["target", ".git", ".github", ".claude"];
 
 /// Hot-path crates: `hot-path-panic` applies to their `src/` trees.
-const HOT_PATH_CRATES: [&str; 7] = ["core", "stream", "windows", "adapt", "kb", "obs", "telemetry"];
+const HOT_PATH_CRATES: [&str; 8] =
+    ["core", "stream", "windows", "adapt", "kb", "obs", "telemetry", "serve"];
 
 fn main() {
     std::process::exit(run());

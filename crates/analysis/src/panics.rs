@@ -23,7 +23,7 @@ use crate::symbols::Symbols;
 
 /// The public serve surface: `(impl type, method prefix)` pairs.
 /// An empty prefix selects every method of the type.
-const ENTRY_POINTS: [(&str, &str); 12] = [
+const ENTRY_POINTS: [(&str, &str); 14] = [
     ("Recommender", "recommend"),
     ("BatchRecommender", "recommend"),
     ("WindowedRecommender", "recommend"),
@@ -36,6 +36,8 @@ const ENTRY_POINTS: [(&str, &str); 12] = [
     ("ProfileStore", "get"),
     ("ProfileStore", "users"),
     ("ProfileStore", "stats"),
+    ("HttpServer", ""),
+    ("AdmissionController", "admit"),
 ];
 
 /// Fn indices of the serve entry points present in this workspace.

@@ -318,6 +318,25 @@ fn is_obs_plane(head: Option<&str>) -> bool {
     )
 }
 
+/// The HTTP serving edge (`evorec-serve`) is likewise terminal for
+/// nondeterministic values: request timings (clock reads) land in the
+/// edge's latency histograms and `X-Evorec-Timing` headers, token
+/// buckets consume clock deltas, and permits/decisions are control
+/// flow — none of it feeds fingerprints, publishes, codecs or
+/// rankings. The engine calls the edge makes (`serve`, `batch`) take
+/// request *data*, which the source rules track independently of
+/// these types.
+fn is_serve_plane(head: Option<&str>) -> bool {
+    matches!(
+        head,
+        Some("AdmissionController")
+            | Some("InFlightPermit")
+            | Some("ServerStats")
+            | Some("HttpServer")
+            | Some("ConnReader")
+    )
+}
+
 /// Keyed containers erase insertion order (deterministically for the
 /// ordered ones; hash maps defer it to the next iteration, which
 /// re-sources).
@@ -1008,7 +1027,8 @@ impl Fx<'_, '_> {
         // see `is_obs_plane`.
         if name == "span" && !args.is_empty()
             || callee.len() >= 2
-                && is_obs_plane(callee.get(callee.len() - 2).map(String::as_str))
+                && (is_obs_plane(callee.get(callee.len() - 2).map(String::as_str))
+                    || is_serve_plane(callee.get(callee.len() - 2).map(String::as_str)))
         {
             return Taint::default();
         }
@@ -1092,7 +1112,7 @@ impl Fx<'_, '_> {
         // timings stay in the metrics plane and handles are sequence
         // ids, so the clock read inside `Tracer::start` never leaks
         // Value taint into callers through its summary.
-        if is_obs_plane(recv_ty.peeled().head()) {
+        if is_obs_plane(recv_ty.peeled().head()) || is_serve_plane(recv_ty.peeled().head()) {
             return Taint::default();
         }
 

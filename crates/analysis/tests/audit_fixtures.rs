@@ -279,6 +279,47 @@ fn cleanser_telemetry_metrics_plane() {
     assert_pair(&tainted, &clean, "taint-into-publish");
 }
 
+#[test]
+fn cleanser_serve_edge_plane() {
+    // The HTTP edge above the engine: a request-latency clock read
+    // flowing into a publish. With an ordinary receiver (`Gateway`)
+    // the clock taint must fire; `AdmissionController`/`ServerStats`
+    // are registered terminal cleansers — edge timings land in
+    // latency histograms and token buckets, which are rendered or
+    // consumed as control flow, never replayed.
+    let tainted = [src(
+        "crates/serve/src/t.rs",
+        "pub struct Gateway { pub served: u64 }\n\
+         impl Gateway {\n\
+             pub fn admit(&self, tenant: u64) -> u64 {\n\
+                 let now = Instant::now();\n\
+                 now\n\
+             }\n\
+         }\n\
+         pub fn edge(g: &Gateway, live: &LiveContext) {\n\
+             let stamp = g.admit(4);\n\
+             live.publish(stamp);\n\
+         }",
+    )];
+    let clean = [src(
+        "crates/serve/src/t.rs",
+        "pub struct ServerStats { pub served: u64 }\n\
+         pub struct AdmissionController { pub slots: u64 }\n\
+         impl AdmissionController {\n\
+             pub fn admit(&self, tenant: u64) -> u64 {\n\
+                 let now = Instant::now();\n\
+                 now\n\
+             }\n\
+         }\n\
+         pub fn edge(c: &AdmissionController, stats: &ServerStats, live: &LiveContext) {\n\
+             let stamp = c.admit(4);\n\
+             stats.record(stamp);\n\
+             live.publish(4);\n\
+         }",
+    )];
+    assert_pair(&tainted, &clean, "taint-into-publish");
+}
+
 // ---- multi-hop evidence -------------------------------------------------
 
 #[test]

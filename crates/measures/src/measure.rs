@@ -67,6 +67,14 @@ impl MeasureCategory {
             MeasureCategory::SemanticImportance => "semantic",
         }
     }
+
+    /// The inverse of [`label`](MeasureCategory::label): parse a wire
+    /// label back into a category (`None` for unknown text). The
+    /// round-trip `from_label(c.label()) == Some(c)` holds for every
+    /// category — the serving edge's feedback decoder relies on it.
+    pub fn from_label(label: &str) -> Option<MeasureCategory> {
+        MeasureCategory::ALL.into_iter().find(|c| c.label() == label)
+    }
 }
 
 impl fmt::Display for MeasureCategory {

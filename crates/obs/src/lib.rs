@@ -54,9 +54,9 @@ mod trace;
 pub use clock::{Clock, LogicalClock, MonotonicClock};
 pub use diff::{CounterRegression, SeriesDelta, SnapshotDiff};
 pub use metrics::{
-    bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
-    HISTOGRAM_BUCKETS,
+    bucket_bounds, bucket_index, push_summary, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsRegistry, HISTOGRAM_BUCKETS,
 };
-pub use render::trace_tree;
+pub use render::{trace_json, trace_tree};
 pub use source::{MetricsSnapshot, MetricsSource, Sample, SampleKind, SampleValue};
 pub use trace::{span, FinishedSpan, SpanGuard, SpanHandle, Tracer};

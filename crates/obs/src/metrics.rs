@@ -377,7 +377,13 @@ impl MetricsRegistry {
 /// Expand a histogram snapshot into Prometheus-summary-shaped samples
 /// (`{quantile=…}`, `_sum`, `_count`, `_max`) under `family`, tagged
 /// with `labels`.
-pub(crate) fn push_summary(
+/// Flatten one histogram snapshot into the six summary samples of the
+/// exposition format (`quantile="0.5|0.9|0.99"`, `_sum`, `_count`,
+/// `_max`), each carrying `labels` — the helper every
+/// [`MetricsSource`] with labelled latency histograms uses (the
+/// tracer's per-stage summaries, the serve edge's per-endpoint
+/// request latencies).
+pub fn push_summary(
     out: &mut Vec<Sample>,
     family: &str,
     labels: &[(String, String)],

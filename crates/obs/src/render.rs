@@ -106,6 +106,37 @@ pub fn trace_tree(spans: &[FinishedSpan]) -> String {
     out
 }
 
+/// Render a finished-span set as a JSON document:
+/// `{"spans":[{"id":…,"parent":…,"name":…,"start_nanos":…,"end_nanos":…},…]}`.
+///
+/// Spans keep their input order (for [`Tracer::last_trace`] output
+/// that is start order), parents riding as ids so a client can
+/// rebuild the tree — the machine-readable twin of [`trace_tree`],
+/// served by the HTTP edge's `/v1/trace/last`.
+///
+/// [`Tracer::last_trace`]: crate::Tracer::last_trace
+pub fn trace_json(spans: &[FinishedSpan]) -> String {
+    let mut out = String::from("{\"spans\":[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":");
+        let _ = write!(out, "{}", span.id);
+        out.push_str(",\"parent\":");
+        let _ = write!(out, "{}", span.parent);
+        out.push_str(",\"name\":\"");
+        escape_json(span.name, &mut out);
+        let _ = write!(
+            out,
+            "\",\"start_nanos\":{},\"end_nanos\":{}}}",
+            span.start_nanos, span.end_nanos
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 fn depth_of(span: &FinishedSpan, spans: &[FinishedSpan]) -> usize {
     let mut depth = 0;
     let mut parent = span.parent;

@@ -1,0 +1,250 @@
+//! Admission control for the serving edge: a global in-flight cap and
+//! per-tenant token buckets.
+//!
+//! Both run *before* any engine work. The in-flight cap is a CAS loop
+//! over a `sched` atomic (so the race models can prove the counter
+//! never leaks a slot); the token buckets meter request *rate* per
+//! tenant, keyed on the `X-Evorec-Tenant` header, refilled off the
+//! edge's [`Clock`] so tests drive them with a logical clock.
+//! Every rejection carries a `Retry-After` the HTTP layer forwards.
+
+use evorec_obs::Clock;
+use sched::sync::atomic::{AtomicU64, Ordering};
+use sched::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Admission limits. `Default` is permissive: a wide in-flight cap
+/// and rate limiting off.
+#[derive(Clone, Debug)]
+pub struct AdmissionOptions {
+    /// Max requests past admission at once, across all tenants.
+    pub max_in_flight: u64,
+    /// Sustained per-tenant request rate (requests/second);
+    /// `f64::INFINITY` or `<= 0` disables rate limiting.
+    pub rate_per_sec: f64,
+    /// Per-tenant burst allowance (bucket depth, in requests).
+    pub burst: f64,
+}
+
+impl Default for AdmissionOptions {
+    fn default() -> AdmissionOptions {
+        AdmissionOptions {
+            max_in_flight: 1024,
+            rate_per_sec: f64::INFINITY,
+            burst: 1.0,
+        }
+    }
+}
+
+/// The verdict for one request.
+pub enum AdmissionDecision {
+    /// Admitted; drop the permit when the request finishes.
+    Admitted(InFlightPermit),
+    /// The global in-flight cap is full.
+    Saturated,
+    /// The tenant's bucket is empty; retry after this many seconds
+    /// (rounded up, min 1 — `Retry-After` is integral).
+    RateLimited {
+        /// Whole seconds until a token is available.
+        retry_after_secs: u64,
+    },
+}
+
+struct TokenBucket {
+    tokens: f64,
+    refilled_at_nanos: u64,
+}
+
+/// More tenants than this and newcomers share one overflow bucket —
+/// the map must not become an unbounded-allocation vector for
+/// hostile tenant headers.
+const MAX_TENANTS: usize = 1024;
+const OVERFLOW_TENANT: &str = "(overflow)";
+
+/// Counters the stats layer exports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionCounters {
+    /// Requests currently past admission.
+    pub in_flight: u64,
+    /// Rejections from the global in-flight cap.
+    pub rejected_saturated: u64,
+    /// Rejections from per-tenant rate limits.
+    pub rejected_rate_limited: u64,
+}
+
+/// The controller. Shared by every worker through an `Arc`.
+pub struct AdmissionController {
+    options: AdmissionOptions,
+    clock: Arc<dyn Clock>,
+    in_flight: AtomicU64,
+    rejected_saturated: AtomicU64,
+    rejected_rate_limited: AtomicU64,
+    buckets: Mutex<BTreeMap<String, TokenBucket>>,
+}
+
+impl AdmissionController {
+    /// A controller enforcing `options`, metering time via `clock`.
+    pub fn new(options: AdmissionOptions, clock: Arc<dyn Clock>) -> Arc<AdmissionController> {
+        Arc::new(AdmissionController {
+            options,
+            clock,
+            in_flight: AtomicU64::new(0),
+            rejected_saturated: AtomicU64::new(0),
+            rejected_rate_limited: AtomicU64::new(0),
+            buckets: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// Decide one request for `tenant`. Order matters: the cheap
+    /// global cap first, the tenant bucket second — a saturated edge
+    /// must not also drain the tenant's tokens.
+    pub fn admit(self: &Arc<Self>, tenant: &str) -> AdmissionDecision {
+        // CAS loop: never overshoots the cap, and a failed race
+        // retries rather than rejecting spuriously.
+        let mut current = self.in_flight.load(Ordering::Acquire);
+        loop {
+            if current >= self.options.max_in_flight {
+                self.rejected_saturated.fetch_add(1, Ordering::Relaxed);
+                return AdmissionDecision::Saturated;
+            }
+            match self.in_flight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+        if let Some(retry_after_secs) = self.take_token(tenant) {
+            // Took a slot above but the bucket said no: release it.
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.rejected_rate_limited.fetch_add(1, Ordering::Relaxed);
+            return AdmissionDecision::RateLimited { retry_after_secs };
+        }
+        AdmissionDecision::Admitted(InFlightPermit { controller: Arc::clone(self) })
+    }
+
+    /// `None` = token granted; `Some(secs)` = empty bucket.
+    fn take_token(&self, tenant: &str) -> Option<u64> {
+        let rate = self.options.rate_per_sec;
+        if !rate.is_finite() || rate <= 0.0 {
+            return None;
+        }
+        let burst = self.options.burst.max(1.0);
+        let now = self.clock.now_nanos();
+        let mut buckets = self.buckets.lock();
+        let key = if buckets.len() >= MAX_TENANTS && !buckets.contains_key(tenant) {
+            OVERFLOW_TENANT
+        } else {
+            tenant
+        };
+        let bucket = buckets
+            .entry(key.to_string())
+            .or_insert(TokenBucket { tokens: burst, refilled_at_nanos: now });
+        let elapsed = now.saturating_sub(bucket.refilled_at_nanos);
+        bucket.tokens = (bucket.tokens + elapsed as f64 * rate / 1e9).min(burst);
+        bucket.refilled_at_nanos = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            None
+        } else {
+            let deficit_secs = (1.0 - bucket.tokens) / rate;
+            Some((deficit_secs.ceil() as u64).max(1))
+        }
+    }
+
+    /// Point-in-time counter values.
+    pub fn counters(&self) -> AdmissionCounters {
+        AdmissionCounters {
+            in_flight: self.in_flight.load(Ordering::Acquire),
+            rejected_saturated: self.rejected_saturated.load(Ordering::Relaxed),
+            rejected_rate_limited: self.rejected_rate_limited.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII in-flight slot; dropping it releases the slot.
+pub struct InFlightPermit {
+    controller: Arc<AdmissionController>,
+}
+
+impl Drop for InFlightPermit {
+    fn drop(&mut self) {
+        self.controller.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evorec_obs::LogicalClock;
+
+    fn controller(options: AdmissionOptions) -> (Arc<AdmissionController>, Arc<LogicalClock>) {
+        let clock = Arc::new(LogicalClock::new());
+        let c = AdmissionController::new(options, Arc::<LogicalClock>::clone(&clock));
+        (c, clock)
+    }
+
+    #[test]
+    fn in_flight_cap_saturates_and_releases() {
+        let (c, _) = controller(AdmissionOptions { max_in_flight: 2, ..Default::default() });
+        let p1 = match c.admit("a") {
+            AdmissionDecision::Admitted(p) => p,
+            _ => panic!("expected admit"),
+        };
+        let _p2 = match c.admit("a") {
+            AdmissionDecision::Admitted(p) => p,
+            _ => panic!("expected admit"),
+        };
+        assert!(matches!(c.admit("a"), AdmissionDecision::Saturated));
+        assert_eq!(c.counters().rejected_saturated, 1);
+        drop(p1);
+        // The fresh permit drops at the end of the matches! — only
+        // _p2's slot stays held.
+        assert!(matches!(c.admit("a"), AdmissionDecision::Admitted(_)));
+        assert_eq!(c.counters().in_flight, 1);
+    }
+
+    #[test]
+    fn token_bucket_meters_per_tenant() {
+        let (c, clock) = controller(AdmissionOptions {
+            max_in_flight: 100,
+            rate_per_sec: 1.0,
+            burst: 2.0,
+        });
+        // Burst of two, then empty.
+        assert!(matches!(c.admit("t1"), AdmissionDecision::Admitted(_)));
+        assert!(matches!(c.admit("t1"), AdmissionDecision::Admitted(_)));
+        let retry = match c.admit("t1") {
+            AdmissionDecision::RateLimited { retry_after_secs } => retry_after_secs,
+            _ => panic!("expected rate limit"),
+        };
+        assert!(retry >= 1);
+        // A different tenant is unaffected.
+        assert!(matches!(c.admit("t2"), AdmissionDecision::Admitted(_)));
+        // A second's worth of refill restores one token.
+        clock.tick(1_000_000_000);
+        assert!(matches!(c.admit("t1"), AdmissionDecision::Admitted(_)));
+        assert_eq!(c.counters().rejected_rate_limited, 1);
+    }
+
+    #[test]
+    fn rate_limit_rejection_releases_the_slot() {
+        let (c, _) = controller(AdmissionOptions {
+            max_in_flight: 1,
+            rate_per_sec: 0.001,
+            burst: 1.0,
+        });
+        let _p = match c.admit("t") {
+            AdmissionDecision::Admitted(p) => p,
+            _ => panic!("expected admit"),
+        };
+        drop(_p);
+        assert!(matches!(c.admit("t"), AdmissionDecision::RateLimited { .. }));
+        // The failed admission must not leak the in-flight slot.
+        assert_eq!(c.counters().in_flight, 0);
+    }
+}

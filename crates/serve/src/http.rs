@@ -1,0 +1,397 @@
+//! Hand-rolled HTTP/1.1: a buffering request reader and a response
+//! writer. No hyper, no tokio — blocking sockets with short read
+//! timeouts, driven by the worker pool in [`crate::server`].
+//!
+//! The reader is deliberately strict and bounded: request heads over
+//! [`MAX_HEAD_BYTES`], bodies over [`MAX_BODY_BYTES`], and anything
+//! that is not a well-formed `METHOD SP PATH SP HTTP/1.x` exchange
+//! come back as typed errors the connection loop maps to 4xx
+//! responses. Nothing here panics on wire input.
+
+use std::io::{self, Read, Write};
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Maximum bytes of request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercase method token, as sent.
+    pub method: String,
+    /// Request target (path + optional query), as sent.
+    pub path: String,
+    /// Header name/value pairs in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (exactly `Content-Length` of them).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive single-header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open
+    /// (HTTP/1.1 default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean close: EOF with no buffered bytes.
+    Closed,
+    /// The socket read timed out with no bytes of the next request
+    /// buffered — an idle keep-alive connection. The caller may poll
+    /// again or hang up.
+    Idle,
+    /// The socket read timed out mid-request (bytes buffered but no
+    /// complete request) — maps to 408.
+    Stalled,
+    /// Head or body over the configured bounds; the payload names the
+    /// bound for the error body. Maps to 431/413.
+    TooLarge(&'static str),
+    /// Anything that is not well-formed HTTP. Maps to 400.
+    Malformed(&'static str),
+    /// A transport error other than timeout.
+    Io(io::Error),
+}
+
+/// A buffering reader for one connection. Keeps leftover bytes
+/// between requests so keep-alive (and pipelined bytes that arrive
+/// early) are handled without loss.
+#[derive(Debug, Default)]
+pub struct ConnReader {
+    buf: Vec<u8>,
+}
+
+impl ConnReader {
+    /// A fresh reader with an empty buffer.
+    pub fn new() -> ConnReader {
+        ConnReader::default()
+    }
+
+    /// Read one complete request from `stream`, honouring its
+    /// configured read timeout.
+    pub fn read_request(&mut self, stream: &mut impl Read) -> Result<Request, ReadError> {
+        // Phase 1: accumulate until the blank line ending the head.
+        let head_end = loop {
+            if let Some(end) = find_head_end(&self.buf) {
+                break end;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(ReadError::TooLarge("request head"));
+            }
+            self.fill(stream)?;
+        };
+        let head = self.buf.get(..head_end).unwrap_or_default();
+        let parsed = parse_head(head)?;
+        let content_length = parsed.content_length;
+        if content_length > MAX_BODY_BYTES {
+            return Err(ReadError::TooLarge("request body"));
+        }
+        // Phase 2: accumulate exactly the declared body.
+        let body_start = head_end + 4;
+        let body_end = body_start + content_length;
+        while self.buf.len() < body_end {
+            self.fill(stream)?;
+        }
+        let body = self.buf.get(body_start..body_end).unwrap_or_default().to_vec();
+        // Keep anything past this request for the next one.
+        self.buf.drain(..body_end);
+        Ok(Request {
+            method: parsed.method,
+            path: parsed.path,
+            headers: parsed.headers,
+            body,
+        })
+    }
+
+    fn fill(&mut self, stream: &mut impl Read) -> Result<(), ReadError> {
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if self.buf.is_empty() {
+                    Err(ReadError::Closed)
+                } else {
+                    Err(ReadError::Malformed("connection closed mid-request"))
+                }
+            }
+            Ok(n) => {
+                self.buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+                Ok(())
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if self.buf.is_empty() {
+                    Err(ReadError::Idle)
+                } else {
+                    Err(ReadError::Stalled)
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+            Err(e) => Err(ReadError::Io(e)),
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+struct ParsedHead {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    content_length: usize,
+}
+
+fn parse_head(head: &[u8]) -> Result<ParsedHead, ReadError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| ReadError::Malformed("non-utf8 request head"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ReadError::Malformed("bad method"));
+    }
+    if !path.starts_with('/') {
+        return Err(ReadError::Malformed("bad request target"));
+    }
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") || parts.next().is_some() {
+        return Err(ReadError::Malformed("bad http version"));
+    }
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ReadError::Malformed("bad header line"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ReadError::Malformed("bad header name"));
+        }
+        let name = name.to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| ReadError::Malformed("bad content-length"))?;
+        }
+        if name == "transfer-encoding" {
+            // Chunked bodies are out of scope for this edge; refusing
+            // beats silently mis-framing the stream.
+            return Err(ReadError::Malformed("transfer-encoding unsupported"));
+        }
+        headers.push((name, value));
+    }
+    Ok(ParsedHead {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        content_length,
+    })
+}
+
+/// An outgoing response: status, body, and extra headers.
+/// `Content-Length`, `Content-Type`, and `Connection` are written by
+/// [`Response::write_to`].
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes (always a complete, non-chunked payload).
+    pub body: String,
+    /// Additional headers (e.g. `Retry-After`, `X-Evorec-Timing`).
+    pub headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error":"…"}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut body = String::from("{\"error\":");
+        crate::json::push_str_lit(message, &mut body);
+        body.push('}');
+        Response::json(status, body)
+    }
+
+    /// Builder-style extra header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// The canonical reason phrase for the statuses this edge emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialise onto the socket. `keep_alive: false` adds
+    /// `Connection: close`.
+    pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            self.status,
+            Response::reason(self.status),
+            self.content_type,
+            self.body.len(),
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        if !keep_alive {
+            head.push_str("connection: close\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_one(bytes: &[u8]) -> Result<Request, ReadError> {
+        let mut cursor = io::Cursor::new(bytes.to_vec());
+        ConnReader::new().read_request(&mut cursor)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = read_one(
+            b"POST /v1/recommend HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+        )
+        .expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/recommend");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn keep_alive_retains_pipelined_bytes() {
+        let two = b"GET /health HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut cursor = io::Cursor::new(two.to_vec());
+        let mut reader = ConnReader::new();
+        let first = reader.read_request(&mut cursor).expect("first");
+        assert_eq!(first.path, "/health");
+        let second = reader.read_request(&mut cursor).expect("second");
+        assert_eq!(second.path, "/metrics");
+        assert!(!second.keep_alive());
+    }
+
+    #[test]
+    fn malformed_heads_are_typed() {
+        assert!(matches!(read_one(b"\r\n\r\n"), Err(ReadError::Malformed(_))));
+        assert!(matches!(
+            read_one(b"GET nopath HTTP/1.1\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_one(b"GET / HTTP/2\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_one(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_one(b"GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_one(b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(read_one(b""), Err(ReadError::Closed)));
+        assert!(matches!(
+            read_one(b"GET / HT"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_heads_and_bodies_are_bounded() {
+        let mut huge = b"GET / HTTP/1.1\r\n".to_vec();
+        huge.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 16));
+        assert!(matches!(read_one(&huge), Err(ReadError::TooLarge(_))));
+        let declared = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            read_one(declared.as_bytes()),
+            Err(ReadError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn response_writes_status_line_and_headers() {
+        let resp = Response::error(429, "slow down").with_header("Retry-After", "1");
+        let mut out = Vec::new();
+        resp.write_to(&mut out, false).expect("writes");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"slow down\"}"));
+    }
+}

@@ -1,0 +1,136 @@
+//! A bounded MPMC queue over `sched` primitives — the hand-off
+//! between the acceptor and the worker pool.
+//!
+//! Generic over the payload so the `--cfg evorec_sched` race models
+//! can drive it with plain integers while production queues
+//! `TcpStream`s. Push never blocks (a full queue is an *admission*
+//! decision, answered 429 at the edge, not a stall); pop blocks until
+//! an item arrives or the queue is closed **and** drained — close is
+//! a drain barrier, not a guillotine, which is what graceful shutdown
+//! leans on.
+
+use sched::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Why a push was refused; hands the item back either way.
+#[derive(Debug, PartialEq, Eq)]
+pub enum QueueRejected<T> {
+    /// At capacity.
+    Full(T),
+    /// Closed for new work.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue. All waiting runs through one condvar, so the
+/// sched harness can explore every acceptor/worker interleaving.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Non-blocking push.
+    pub fn try_push(&self, item: T) -> Result<(), QueueRejected<T>> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(QueueRejected::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(QueueRejected::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: `Some(item)` while items remain (even after
+    /// close), `None` once closed **and** empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state);
+        }
+    }
+
+    /// Close for new pushes and wake every waiter. Queued items stay
+    /// poppable — shutdown drains, it does not drop.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_and_fifo() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(QueueRejected::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.try_push(10), Ok(()));
+        q.close();
+        assert_eq!(q.try_push(11), Err(QueueRejected::Closed(11)));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        // The consumer may or may not be parked yet; push either way.
+        assert_eq!(q.try_push(7), Ok(()));
+        assert_eq!(consumer.join().expect("joins"), Some(7));
+    }
+}

@@ -1,0 +1,533 @@
+//! The serving edge proper: a non-blocking acceptor, a worker pool
+//! over a [`BoundedQueue`] of connections, and the route table
+//! fronting an [`AdaptiveRecommender`].
+//!
+//! Request lifecycle:
+//!
+//! 1. The acceptor takes the TCP connection and `try_push`es it onto
+//!    the bounded dispatch queue — a full queue answers 429
+//!    immediately (load-shedding at the door, never an unbounded
+//!    backlog).
+//! 2. A worker pops the connection and serves requests off it
+//!    (keep-alive) until the peer hangs up, an error closes it, or
+//!    shutdown begins.
+//! 3. Each `/v1/*` POST passes the [`AdmissionController`] (global
+//!    in-flight cap, then the tenant's token bucket, keyed on
+//!    `X-Evorec-Tenant`) before any engine work; rejections carry
+//!    `Retry-After`.
+//! 4. Every request opens an `http_request` span (when a tracer is
+//!    wired) that parents the engine's own `serve` span, and answers
+//!    with an `X-Evorec-Timing` header.
+//!
+//! Shutdown is a drain, not a drop: the acceptor stops, the queue
+//! closes, workers finish queued and in-flight requests, and the
+//! adapt worker is flushed with [`AdaptiveRecommender::sync`] so
+//! feedback accepted before the stop is applied before the stop
+//! returns.
+
+use crate::admission::{AdmissionController, AdmissionDecision, AdmissionOptions};
+use crate::http::{ConnReader, ReadError, Request, Response};
+use crate::json;
+use crate::queue::{BoundedQueue, QueueRejected};
+use crate::stats::{Endpoint, ServerStats};
+use crate::wire;
+use evorec_adapt::AdaptiveRecommender;
+use evorec_core::UserProfile;
+use evorec_obs::{span, trace_json, Clock, MetricsRegistry, MonotonicClock, SpanHandle, Tracer};
+use evorec_stream::TryPushError;
+use evorec_telemetry::{HealthStatus, TelemetryCollector};
+use sched::sync::atomic::{AtomicBool, Ordering};
+use sched::sync::{Condvar, Mutex};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server configuration. `Default` binds an ephemeral loopback port
+/// with a small pool and permissive admission.
+pub struct ServeOptions {
+    /// Bind address (`127.0.0.1:0` = ephemeral port).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Dispatch-queue capacity (connections waiting for a worker).
+    pub queue_capacity: usize,
+    /// Admission limits.
+    pub admission: AdmissionOptions,
+    /// Socket read timeout — also the poll cadence for idle
+    /// keep-alive connections and the acceptor's park interval, so it
+    /// bounds shutdown latency.
+    pub read_timeout: Duration,
+    /// Time source for latencies, timing headers, and token buckets.
+    /// `None` = a fresh [`MonotonicClock`].
+    pub clock: Option<Arc<dyn Clock>>,
+    /// Span tracer for per-request breakdowns (`/v1/trace/last`).
+    pub tracer: Option<Arc<Tracer>>,
+    /// Health source for `/health`.
+    pub collector: Option<Arc<TelemetryCollector>>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            admission: AdmissionOptions::default(),
+            read_timeout: Duration::from_millis(25),
+            clock: None,
+            tracer: None,
+            collector: None,
+        }
+    }
+}
+
+struct EdgeCore {
+    adaptive: Arc<AdaptiveRecommender>,
+    registry: Arc<MetricsRegistry>,
+    tracer: Option<Arc<Tracer>>,
+    collector: Option<Arc<TelemetryCollector>>,
+    clock: Arc<dyn Clock>,
+    admission: Arc<AdmissionController>,
+    stats: Arc<ServerStats>,
+    queue: BoundedQueue<TcpStream>,
+    stopping: AtomicBool,
+    stop: Mutex<bool>,
+    wake: Condvar,
+    read_timeout: Duration,
+}
+
+impl EdgeCore {
+    fn is_stopping(&self) -> bool {
+        self.stopping.load(Ordering::Acquire)
+    }
+
+    fn begin_stop(&self) {
+        self.stopping.store(true, Ordering::Release);
+        *self.stop.lock() = true;
+        self.wake.notify_all();
+    }
+
+    /// Park the acceptor between accept attempts; wakes immediately
+    /// on [`begin_stop`](EdgeCore::begin_stop). (The no-`thread::sleep`
+    /// rule is not a technicality here: a sleeping acceptor would add
+    /// its whole sleep to shutdown latency.) The park is capped well
+    /// below `read_timeout` — it is also the accept latency a fresh
+    /// connection pays when the listener is idle.
+    fn park(&self) {
+        let pause = self.read_timeout.min(Duration::from_millis(2));
+        let guard = self.stop.lock();
+        if !*guard {
+            let _ = self.wake.wait_timeout(guard, pause);
+        }
+    }
+}
+
+/// The running server. Bind with [`start`](HttpServer::start), stop
+/// with [`shutdown`](HttpServer::shutdown) (dropping it also shuts
+/// down, quietly).
+pub struct HttpServer {
+    core: Arc<EdgeCore>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl HttpServer {
+    /// Bind, register the edge's [`ServerStats`] on `registry`, and
+    /// spawn the acceptor + worker pool.
+    pub fn start(
+        adaptive: Arc<AdaptiveRecommender>,
+        registry: Arc<MetricsRegistry>,
+        options: ServeOptions,
+    ) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(&options.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let clock: Arc<dyn Clock> = match options.clock {
+            Some(c) => c,
+            None => Arc::new(MonotonicClock::new()),
+        };
+        let admission = AdmissionController::new(options.admission, Arc::clone(&clock));
+        let stats = Arc::new(ServerStats::new(
+            Arc::clone(&admission),
+            options.queue_capacity,
+        ));
+        registry.register_source(Arc::clone(&stats) as Arc<dyn evorec_obs::MetricsSource>);
+        let core = Arc::new(EdgeCore {
+            adaptive,
+            registry,
+            tracer: options.tracer,
+            collector: options.collector,
+            clock,
+            admission,
+            stats,
+            queue: BoundedQueue::new(options.queue_capacity),
+            stopping: AtomicBool::new(false),
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+            read_timeout: options.read_timeout,
+        });
+        let acceptor = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || accept_loop(&core, listener))
+        };
+        let workers = (0..options.workers.max(1))
+            .map(|_| {
+                let core = Arc::clone(&core);
+                std::thread::spawn(move || worker_loop(&core))
+            })
+            .collect();
+        Ok(HttpServer { core, acceptor: Some(acceptor), workers, addr })
+    }
+
+    /// The bound address (with the real port when `addr` asked for an
+    /// ephemeral one).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The edge's metrics source (already registered on the registry
+    /// passed to [`start`](HttpServer::start)).
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.core.stats)
+    }
+
+    /// Graceful stop: no new connections, queued and in-flight
+    /// requests finish, the adapt worker is flushed.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.core.begin_stop();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.core.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Feedback accepted before the stop is in the profiles after it.
+        self.core.adaptive.sync();
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(core: &EdgeCore, listener: TcpListener) {
+    loop {
+        if core.is_stopping() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                core.stats.connection_accepted();
+                // Accepted sockets must not inherit the listener's
+                // non-blocking mode: workers use timeout reads.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(core.read_timeout));
+                let _ = stream.set_nodelay(true);
+                match core.queue.try_push(stream) {
+                    Ok(()) => core.stats.set_queue_depth(core.queue.len()),
+                    Err(QueueRejected::Full(stream)) => {
+                        core.stats.queue_rejected();
+                        shed(core, stream);
+                    }
+                    Err(QueueRejected::Closed(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => core.park(),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => core.park(),
+        }
+    }
+}
+
+/// Answer a connection the queue would not take: one 429 and close.
+/// Counted as an admission rejection, never a 5xx — overload is the
+/// client's signal to back off, not a server error.
+fn shed(core: &EdgeCore, mut stream: TcpStream) {
+    let resp = Response::error(429, "dispatch queue full")
+        .with_header("Retry-After", "1");
+    let _ = resp.write_to(&mut stream, false);
+    core.stats.record(Endpoint::Other, 429, 0);
+}
+
+fn worker_loop(core: &EdgeCore) {
+    while let Some(mut stream) = core.queue.pop() {
+        core.stats.set_queue_depth(core.queue.len());
+        if core.is_stopping() {
+            core.stats.drained_on_shutdown();
+        }
+        serve_connection(core, &mut stream);
+    }
+}
+
+fn serve_connection(core: &EdgeCore, stream: &mut TcpStream) {
+    let mut reader = ConnReader::new();
+    loop {
+        match reader.read_request(stream) {
+            Ok(req) => {
+                let keep = req.keep_alive() && !core.is_stopping();
+                let resp = respond(core, &req);
+                if resp.write_to(stream, keep).is_err() || !keep {
+                    break;
+                }
+            }
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => break,
+            Err(ReadError::Idle) => {
+                if core.is_stopping() {
+                    break;
+                }
+            }
+            Err(ReadError::Stalled) => {
+                answer_read_error(core, stream, 408, "request timed out");
+                break;
+            }
+            Err(ReadError::TooLarge(what)) => {
+                let status = if what == "request body" { 413 } else { 431 };
+                answer_read_error(core, stream, status, what);
+                break;
+            }
+            Err(ReadError::Malformed(what)) => {
+                answer_read_error(core, stream, 400, what);
+                break;
+            }
+        }
+    }
+}
+
+fn answer_read_error(core: &EdgeCore, stream: &mut TcpStream, status: u16, message: &str) {
+    let _ = Response::error(status, message).write_to(stream, false);
+    core.stats.record(Endpoint::Other, status, 0);
+}
+
+fn classify(req: &Request) -> (Endpoint, bool) {
+    // (endpoint, method_matches)
+    match req.path.as_str() {
+        "/v1/recommend" => (Endpoint::Recommend, req.method == "POST"),
+        "/v1/recommend/bulk" => (Endpoint::Bulk, req.method == "POST"),
+        "/v1/feedback" => (Endpoint::Feedback, req.method == "POST"),
+        "/health" => (Endpoint::Health, req.method == "GET"),
+        "/metrics" => (Endpoint::Metrics, req.method == "GET"),
+        "/v1/trace/last" => (Endpoint::Trace, req.method == "GET"),
+        _ => (Endpoint::Other, false),
+    }
+}
+
+fn respond(core: &EdgeCore, req: &Request) -> Response {
+    let started = core.clock.now_nanos();
+    let tracer = core.tracer.as_deref();
+    let root = span(tracer, "http_request", SpanHandle::NONE);
+    let (endpoint, method_ok) = classify(req);
+    let resp = if endpoint == Endpoint::Other {
+        Response::error(404, "no such endpoint")
+    } else if !method_ok {
+        let allow = if endpoint == Endpoint::Health
+            || endpoint == Endpoint::Metrics
+            || endpoint == Endpoint::Trace
+        {
+            "GET"
+        } else {
+            "POST"
+        };
+        Response::error(405, "method not allowed").with_header("Allow", allow)
+    } else {
+        dispatch(core, req, endpoint, root.handle())
+    };
+    root.finish();
+    let total = core.clock.now_nanos().saturating_sub(started);
+    core.stats.record(endpoint, resp.status, total);
+    resp.with_header(
+        "X-Evorec-Timing",
+        format!("endpoint={};total={}ns", endpoint.label(), total),
+    )
+}
+
+fn dispatch(core: &EdgeCore, req: &Request, endpoint: Endpoint, parent: SpanHandle) -> Response {
+    match endpoint {
+        // Ops endpoints bypass admission: they must answer *because*
+        // the edge is overloaded, not only when it is idle.
+        Endpoint::Health => handle_health(core),
+        Endpoint::Metrics => handle_metrics(core),
+        Endpoint::Trace => handle_trace(core),
+        _ => {
+            let tenant = req.header("x-evorec-tenant").unwrap_or("anon");
+            match core.admission.admit(tenant) {
+                AdmissionDecision::Saturated => Response::error(429, "in-flight cap reached")
+                    .with_header("Retry-After", "1"),
+                AdmissionDecision::RateLimited { retry_after_secs } => {
+                    Response::error(429, "tenant rate limit exceeded")
+                        .with_header("Retry-After", retry_after_secs.to_string())
+                }
+                AdmissionDecision::Admitted(_permit) => match endpoint {
+                    Endpoint::Recommend => handle_recommend(core, &req.body, parent),
+                    Endpoint::Bulk => handle_bulk(core, &req.body, parent),
+                    Endpoint::Feedback => handle_feedback(core, &req.body, parent),
+                    // classify() never sends ops endpoints here.
+                    _ => Response::error(404, "no such endpoint"),
+                },
+            }
+        }
+    }
+}
+
+fn parse_body(core: &EdgeCore, body: &[u8], parent: SpanHandle) -> Result<json::Json, Response> {
+    let tracer = core.tracer.as_deref();
+    let guard = span(tracer, "http_parse", parent);
+    let doc = json::parse(body)
+        .map_err(|e| Response::error(400, &format!("malformed json: {e}")));
+    guard.finish();
+    doc
+}
+
+fn handle_recommend(core: &EdgeCore, body: &[u8], parent: SpanHandle) -> Response {
+    let doc = match parse_body(core, body, parent) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    let req = match wire::decode_recommend(&doc) {
+        Ok(req) => req,
+        Err(e) => return Response::error(400, &format!("invalid request: {e}")),
+    };
+    match core.adaptive.serve_with_parent(&req.window, req.user, parent) {
+        Some(rec) => {
+            let mut body = String::new();
+            wire::encode_recommendation(req.user, &req.window, &rec, &mut body);
+            Response::json(200, body)
+        }
+        None => Response::error(404, &format!("unknown window '{}'", req.window)),
+    }
+}
+
+fn handle_bulk(core: &EdgeCore, body: &[u8], parent: SpanHandle) -> Response {
+    let doc = match parse_body(core, body, parent) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    let req = match wire::decode_bulk(&doc) {
+        Ok(req) => req,
+        Err(e) => return Response::error(400, &format!("invalid request: {e}")),
+    };
+    let windowed = core.adaptive.windowed();
+    let Some(ctx) = windowed.context(&req.window) else {
+        return Response::error(404, &format!("unknown window '{}'", req.window));
+    };
+    // Resolve profiles exactly as the single-serve path does: stored
+    // snapshot, else a transient blank (bit-identical to a stored
+    // blank one) — the fan-out must answer what N single calls would.
+    let profiles: Vec<UserProfile> = req
+        .rows
+        .iter()
+        .filter_map(|row| row.as_ref().ok())
+        .map(|&user| match core.adaptive.store().get(user) {
+            Some(p) => (*p).clone(),
+            None => UserProfile::new(user, user.0.to_string()),
+        })
+        .collect();
+    let tracer = core.tracer.as_deref();
+    let guard = span(tracer, "bulk_fanout", parent);
+    let recs = windowed.recommender().batch().recommend_all(&ctx, &profiles);
+    guard.finish();
+    let mut out = String::from("{\"window\":");
+    json::push_str_lit(&req.window, &mut out);
+    out.push_str(",\"results\":[");
+    let mut next_rec = recs.iter().zip(profiles.iter());
+    for (i, row) in req.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match row {
+            Ok(user) => match next_rec.next() {
+                Some((rec, _)) => wire::encode_recommendation(*user, &req.window, rec, &mut out),
+                // recommend_all answers one row per profile; this arm
+                // is unreachable but degrades to a row error.
+                None => wire::encode_row_error(
+                    &wire::WireError {
+                        field: format!("users[{i}]"),
+                        message: "missing result row".to_string(),
+                    },
+                    &mut out,
+                ),
+            },
+            Err(e) => wire::encode_row_error(e, &mut out),
+        }
+    }
+    out.push_str("]}");
+    Response::json(200, out)
+}
+
+fn handle_feedback(core: &EdgeCore, body: &[u8], parent: SpanHandle) -> Response {
+    let doc = match parse_body(core, body, parent) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    let events = match wire::decode_feedback(&doc) {
+        Ok(events) => events,
+        Err(e) => return Response::error(400, &format!("invalid request: {e}")),
+    };
+    let tracer = core.tracer.as_deref();
+    let guard = span(tracer, "feedback_ingest", parent);
+    let total = events.len();
+    let mut accepted = 0usize;
+    let mut outcome = None;
+    for event in events {
+        match core.adaptive.try_observe(event) {
+            Ok(()) => accepted += 1,
+            Err(TryPushError::Full(_)) => {
+                // Backpressure: report how far we got and ask the
+                // client to retry the rest.
+                outcome = Some(
+                    Response::json(
+                        429,
+                        format!(
+                            "{{\"accepted\":{accepted},\"rejected\":{},\"error\":\"feedback log full\"}}",
+                            total - accepted
+                        ),
+                    )
+                    .with_header("Retry-After", "1"),
+                );
+                break;
+            }
+            Err(TryPushError::Closed(_)) => {
+                outcome = Some(Response::error(503, "feedback log closed"));
+                break;
+            }
+        }
+    }
+    guard.finish();
+    match outcome {
+        Some(resp) => resp,
+        None => Response::json(200, format!("{{\"accepted\":{accepted}}}")),
+    }
+}
+
+fn handle_health(core: &EdgeCore) -> Response {
+    match core.collector.as_ref().and_then(|c| c.last_report()) {
+        Some(report) => {
+            let status = if report.overall() == HealthStatus::Critical {
+                503
+            } else {
+                200
+            };
+            Response::json(status, report.render_json())
+        }
+        None => Response::json(200, "{\"overall\":\"ok\",\"components\":{}}"),
+    }
+}
+
+fn handle_metrics(core: &EdgeCore) -> Response {
+    Response::text(200, core.registry.snapshot().render_prometheus())
+}
+
+fn handle_trace(core: &EdgeCore) -> Response {
+    match core.tracer.as_ref() {
+        Some(tracer) => Response::json(200, trace_json(&tracer.last_trace())),
+        None => Response::json(200, "{\"spans\":[]}"),
+    }
+}

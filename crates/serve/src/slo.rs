@@ -1,0 +1,70 @@
+//! Service-level objectives for the serving edge.
+//!
+//! The edge's overload signal is its dispatch queue: depth riding
+//! near capacity means connections are waiting on workers and the
+//! next arrivals will be shed with 429s. The constants name the
+//! gauge series [`ServerStats`](crate::ServerStats) exports and the
+//! saturation levels; [`edge_rules`] packages them as
+//! [`SloRule`]s for a `TelemetryCollector` (this crate sits *above*
+//! telemetry in the DAG, so the rules are built here, not in
+//! `evorec_telemetry::defaults`).
+
+use evorec_telemetry::{HealthStatus, Predicate, SeriesExpr, SloRule};
+
+/// Series key of the dispatch-queue depth gauge.
+pub const QUEUE_DEPTH_SERIES: &str = "evorec_serve_queue_depth";
+
+/// Series key of the dispatch-queue capacity gauge.
+pub const QUEUE_CAPACITY_SERIES: &str = "evorec_serve_queue_capacity";
+
+/// Series key of the in-flight-requests gauge.
+pub const IN_FLIGHT_SERIES: &str = "evorec_serve_in_flight";
+
+/// Queue depth / capacity at which the edge is **degraded**.
+pub const SATURATION_DEGRADED: f64 = 0.75;
+
+/// Queue depth / capacity at which the edge is **critical** — the
+/// next accept bursts will shed.
+pub const SATURATION_CRITICAL: f64 = 0.95;
+
+/// The edge's SLO rules (component `"edge"`), with the
+/// workspace-standard burn windows for `cadence_nanos`. Append to
+/// `evorec_telemetry::defaults::standard_rules` when the collector
+/// watches a registry that carries a server.
+pub fn edge_rules(cadence_nanos: u64) -> Vec<SloRule> {
+    let saturation = || SeriesExpr::Ratio {
+        left: QUEUE_DEPTH_SERIES.to_string(),
+        right: QUEUE_CAPACITY_SERIES.to_string(),
+    };
+    vec![
+        SloRule::standard(
+            "edge-queue-saturation",
+            "edge",
+            saturation(),
+            Predicate::Above(SATURATION_DEGRADED),
+            HealthStatus::Degraded,
+            cadence_nanos,
+        ),
+        SloRule::standard(
+            "edge-queue-saturation-critical",
+            "edge",
+            saturation(),
+            Predicate::Above(SATURATION_CRITICAL),
+            HealthStatus::Critical,
+            cadence_nanos,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_target_the_edge_component() {
+        let rules = edge_rules(1_000);
+        assert_eq!(rules.len(), 2);
+        assert!(rules.iter().all(|r| r.component == "edge"));
+        assert!(rules.iter().any(|r| r.severity == HealthStatus::Critical));
+    }
+}

@@ -1,0 +1,176 @@
+//! Fuzz-style property tests for the wire layer: arbitrary, mutated,
+//! truncated, and oversized inputs must come back as clean errors —
+//! parsing never panics, and whatever *does* parse re-encodes to the
+//! same document. (The proptest shim is deterministic, so these are
+//! reproducible corpora, not true fuzzing — the point is the same:
+//! hostile bytes cannot take the edge down.)
+
+use evorec_serve::http::{ConnReader, ReadError};
+use evorec_serve::json::{self, Json};
+use evorec_serve::wire;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Re-encode a parsed document canonically (used to check
+/// parse → encode → parse is a fixed point).
+fn encode(doc: &Json, out: &mut String) {
+    match doc {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => json::push_f64(*n, out),
+        Json::Str(s) => json::push_str_lit(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::push_str_lit(k, out);
+                out.push(':');
+                encode(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary bytes: parse returns, never unwinds. (A panic here
+    /// fails the test via the harness — the property is "total".)
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        let _ = json::parse(&bytes);
+    }
+
+    /// Printable-ish JSON-flavoured soup: same property, denser in
+    /// near-valid documents (braces, quotes, digits, escapes). The
+    /// shim's class strategy cannot express `[`/`]`/`\`, so the soup
+    /// is drawn from an explicit alphabet by index.
+    #[test]
+    fn json_flavoured_soup_never_panics(ix in prop::collection::vec(0usize..24, 0..128)) {
+        const SOUP: [char; 24] = [
+            '{', '}', '[', ']', '"', '\\', ':', ',', '.', 'e', 'E', '+', '-',
+            '0', '1', '9', 'u', 't', 'r', 'l', 'f', 'n', 'a', ' ',
+        ];
+        let s: String = ix.iter().map(|&i| SOUP[i % SOUP.len()]).collect();
+        let _ = json::parse(s.as_bytes());
+    }
+
+    /// Whatever parses must re-encode to a document that parses to
+    /// the same value (canonical fixed point).
+    #[test]
+    fn parse_encode_parse_is_identity(ix in prop::collection::vec(0usize..20, 0..64)) {
+        const SOUP: [char; 20] = [
+            '{', '}', '[', ']', '"', ':', ',', '0', '1', '2', '7', '9',
+            'a', 'b', 'n', 'u', 'l', ' ', '.', '-',
+        ];
+        let s: String = ix.iter().map(|&i| SOUP[i % SOUP.len()]).collect();
+        if let Ok(doc) = json::parse(s.as_bytes()) {
+            let mut out = String::new();
+            encode(&doc, &mut out);
+            let again = json::parse(out.as_bytes());
+            prop_assert_eq!(again.as_ref(), Ok(&doc));
+        }
+    }
+
+    /// Truncations of a valid recommend body: every proper prefix is
+    /// a clean error (or, for the full string, a clean parse).
+    #[test]
+    fn truncated_bodies_error_cleanly(cut in 0usize..58) {
+        let full = r#"{"user": 12345, "window": "sliding-7", "x": [1.5e3, true]}"#;
+        let cut = cut.min(full.len() - 1);
+        let doc = json::parse(&full.as_bytes()[..cut]);
+        prop_assert!(doc.is_err(), "prefix {cut} unexpectedly parsed");
+    }
+
+    /// Deep nesting is rejected at MAX_DEPTH, not at stack overflow.
+    #[test]
+    fn depth_bomb_is_rejected(extra in 0usize..64) {
+        let depth = json::MAX_DEPTH + extra;
+        let mut s = "[".repeat(depth);
+        s.push('1');
+        s.push_str(&"]".repeat(depth));
+        prop_assert!(json::parse(s.as_bytes()).is_err());
+    }
+
+    /// Valid JSON that is the wrong *shape* for the endpoints decodes
+    /// to a WireError, never a panic.
+    #[test]
+    fn wrong_shapes_are_wire_errors(n in 0u32..1000, s in "[a-z]{0,8}") {
+        let docs = [
+            format!("{n}"),
+            format!("\"{s}\""),
+            format!("[{n}]"),
+            format!("{{\"user\": \"{s}\"}}"),
+            format!("{{\"window\": {n}}}"),
+            format!("{{\"users\": {n}, \"window\": \"{s}\"}}"),
+            format!("{{\"events\": {{\"user\": {n}}}}}"),
+        ];
+        for text in &docs {
+            let doc = json::parse(text.as_bytes()).expect("valid test doc");
+            prop_assert!(wire::decode_recommend(&doc).is_err() || text.contains("user"));
+            let _ = wire::decode_bulk(&doc);
+            let _ = wire::decode_feedback(&doc);
+        }
+    }
+
+    /// Mutated HTTP heads: flip one byte of a valid request and the
+    /// reader either still parses or fails with a typed error.
+    #[test]
+    fn mutated_http_heads_never_panic(pos in 0usize..60, byte in 0u8..=255) {
+        let mut raw =
+            b"POST /v1/recommend HTTP/1.1\r\nContent-Length: 2\r\nHost: x\r\n\r\n{}".to_vec();
+        let pos = pos.min(raw.len() - 1);
+        raw[pos] = byte;
+        let mut reader = ConnReader::new();
+        match reader.read_request(&mut Cursor::new(raw)) {
+            Ok(req) => prop_assert!(req.body.len() <= 2),
+            Err(
+                ReadError::Malformed(_)
+                | ReadError::TooLarge(_)
+                | ReadError::Closed
+                | ReadError::Idle
+                | ReadError::Stalled,
+            ) => {}
+            Err(ReadError::Io(e)) => prop_assert!(false, "io error: {e}"),
+        }
+    }
+}
+
+/// Oversized payloads: a body larger than the cap is refused by the
+/// HTTP layer before the JSON parser ever sees it.
+#[test]
+fn oversized_body_is_a_413_class_error() {
+    let head = format!(
+        "POST /v1/feedback HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        evorec_serve::MAX_BODY_BYTES + 1
+    );
+    let mut reader = ConnReader::new();
+    let out = reader.read_request(&mut Cursor::new(head.into_bytes()));
+    assert!(matches!(out, Err(ReadError::TooLarge("request body"))));
+}
+
+/// A bulk request at exactly the row cap decodes; one past it is
+/// refused whole.
+#[test]
+fn bulk_row_cap_is_exact() {
+    let rows = |n: usize| {
+        let users: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+        format!("{{\"window\": \"w\", \"users\": [{}]}}", users.join(","))
+    };
+    let at = json::parse(rows(wire::MAX_BULK_ROWS).as_bytes()).expect("parses");
+    assert!(wire::decode_bulk(&at).is_ok());
+    let over = json::parse(rows(wire::MAX_BULK_ROWS + 1).as_bytes()).expect("parses");
+    assert!(wire::decode_bulk(&over).is_err());
+}

@@ -361,33 +361,11 @@ impl TelemetryCollector {
             state.last_scrape_nanos.unwrap_or(0),
             state.scrapes,
         );
-        out.push_str(",\"health\":{");
-        if let Some(report) = &state.last_report {
-            let _ = write!(out, "\"overall\":\"{}\"", report.overall().label());
-            out.push_str(",\"components\":{");
-            for (i, (component, health)) in report.components.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                let _ = write!(
-                    out,
-                    "\"{}\":{{\"status\":\"{}\",\"reasons\":[",
-                    escaped(component),
-                    health.status.label(),
-                );
-                for (j, reason) in health.reasons.iter().enumerate() {
-                    if j > 0 {
-                        out.push(',');
-                    }
-                    let _ = write!(out, "\"{}\"", escaped(reason));
-                }
-                out.push_str("]}");
-            }
-            out.push('}');
-        } else {
-            out.push_str("\"overall\":\"ok\",\"components\":{}");
+        out.push_str(",\"health\":");
+        match &state.last_report {
+            Some(report) => out.push_str(&report.render_json()),
+            None => out.push_str("{\"overall\":\"ok\",\"components\":{}}"),
         }
-        out.push('}');
         out.push_str(",\"series\":{");
         for (i, (key, buf)) in state.store.iter().enumerate() {
             if i > 0 {

@@ -312,6 +312,39 @@ impl HealthReport {
             .map(|c| c.status)
             .unwrap_or_default()
     }
+
+    /// Render the report as one JSON object:
+    /// `{"overall":"ok","components":{"stream":{"status":"ok","reasons":[…]},…}}`.
+    ///
+    /// Byte-deterministic for a given report (components are a
+    /// `BTreeMap`); both the collector's diagnostic bundle and the
+    /// HTTP edge's `/health` endpoint serve exactly this rendering.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        let _ = write!(out, "\"overall\":\"{}\"", self.overall().label());
+        out.push_str(",\"components\":{");
+        for (i, (component, health)) in self.components.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"status\":\"{}\",\"reasons\":[",
+                crate::recorder::escaped(component),
+                health.status.label(),
+            );
+            for (j, reason) in health.reasons.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", crate::recorder::escaped(reason));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
 }
 
 /// The rule evaluator: owns the rules and their hysteresis state.

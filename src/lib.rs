@@ -22,6 +22,7 @@
 //! | [`windows`] | `evorec-windows` | multi-window temporal serving: one epoch stream, many live views |
 //! | [`adapt`] | `evorec-adapt` | online adaptation: feedback streams, live profiles, bandit-blended serving |
 //! | [`telemetry`] | `evorec-telemetry` | telemetry history: ring TSDB, SLO health engine, flight recorder |
+//! | [`serve`] | `evorec-serve` | hand-rolled HTTP serving edge: bulk fan-out, feedback ingest, admission control |
 //! | [`synth`] | `evorec-synth` | synthetic KB / evolution / population workloads |
 //!
 //! ## Quickstart
@@ -52,6 +53,7 @@ pub use evorec_graph as graph;
 pub use evorec_kb as kb;
 pub use evorec_measures as measures;
 pub use evorec_obs as obs;
+pub use evorec_serve as serve;
 pub use evorec_stream as stream;
 pub use evorec_synth as synth;
 pub use evorec_telemetry as telemetry;
